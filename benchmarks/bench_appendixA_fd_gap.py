@@ -1,0 +1,71 @@
+"""E8 -- Section 2.1 and Appendix A: the failure-detector crash-stop / crash-recovery gap.
+
+Runs the three stacks under the same fault models:
+
+* Chandra-Toueg ◇S (Algorithm 5) -- designed for crash-stop with reliable links;
+* Aguilera et al. ◇Su (Algorithm 6) -- designed for crash-recovery with lossy links;
+* the HO stack (Algorithm 1 over Algorithm 2) -- one algorithm for every model.
+
+Expected picture (the paper's argument made executable):
+
+* all three solve the crash-stop scenario;
+* Chandra-Toueg stops terminating (but stays safe) under message loss and
+  under crash-recovery;
+* Aguilera et al. and the HO stack solve crash-recovery -- but the
+  failure-detector solution needed a different algorithm, a different
+  detector, stable storage and retransmission, whereas the HO stack is
+  unchanged (structural complexity table at the end).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import algorithm_complexity_summary
+from repro.workloads import compare_stacks
+
+
+def test_fd_gap_matrix(benchmark, report):
+    def run_matrix():
+        return compare_stacks(n=4, seed=0)
+
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    report(
+        "E8  Appendix A: Chandra-Toueg vs Aguilera vs the HO stack under identical faults",
+        [result.row() for result in results],
+    )
+
+    by_key = {(result.stack, result.fault_model): result for result in results}
+    # Everybody handles the crash-stop world.
+    for stack in ("ho-stack", "chandra-toueg", "aguilera"):
+        assert by_key[(stack, "fault-free")].solved
+        assert by_key[(stack, "crash-stop")].solved
+    # The crash-stop FD algorithm does not terminate under loss / recovery...
+    assert not by_key[("chandra-toueg", "lossy")].verdict.termination
+    assert not by_key[("chandra-toueg", "crash-recovery")].verdict.termination
+    # ... but never violates safety.
+    assert by_key[("chandra-toueg", "lossy")].safe
+    assert by_key[("chandra-toueg", "crash-recovery")].safe
+    # The crash-recovery FD algorithm and the HO stack both solve those models.
+    assert by_key[("aguilera", "crash-recovery")].solved
+    assert by_key[("aguilera", "lossy")].solved
+    assert by_key[("ho-stack", "crash-recovery")].solved
+    assert by_key[("ho-stack", "lossy")].solved
+
+
+def test_structural_complexity_table(benchmark, report):
+    """The Section 2.1 structural comparison (crash-stop vs crash-recovery vs HO)."""
+    summary = benchmark.pedantic(algorithm_complexity_summary, rounds=1, iterations=1)
+    lines = [
+        f"{'algorithm':<38} {'msg kinds':<10} {'state vars':<11} "
+        f"{'stable storage':<15} {'retransmission':<15} {'detector':<9} new algorithm for crash-recovery?"
+    ]
+    for item in summary.values():
+        lines.append(
+            f"{item.name:<38} {item.message_kinds:<10} {item.state_variables:<11} "
+            f"{str(item.needs_stable_storage):<15} {str(item.needs_retransmission_task):<15} "
+            f"{str(item.needs_failure_detector):<9} {item.distinct_from_crash_stop_variant}"
+        )
+    report("E8b Structural complexity (Section 2.1 / Appendix A)", lines)
+    assert summary["aguilera"].state_variables > summary["chandra-toueg"].state_variables
+    assert not summary["one-third-rule"].distinct_from_crash_stop_variant

@@ -1,0 +1,85 @@
+"""E10 -- Corollary 4: the P_2otr vs P_1/1otr good-period trade-off.
+
+Corollary 4 exposes a trade-off for Algorithm 2: consensus needs either one
+longer "pi0-down" good period (enough for two *consecutive* good rounds,
+``P_2otr``) or two shorter ones (one good round each, ``P_1/1otr``).  The
+benchmark measures both, and additionally verifies end-to-end that a
+schedule with two short good periods -- each individually too short for
+``P_2otr`` -- still lets OneThirdRule decide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import OneThirdRule
+from repro.predimpl import (
+    build_down_stack,
+    corollary4_p11otr_length,
+    corollary4_p2otr_length,
+)
+from repro.sysmodel import (
+    BadPeriodNetwork,
+    GoodPeriod,
+    GoodPeriodKind,
+    PeriodSchedule,
+    SynchronyParams,
+    SystemSimulator,
+)
+from repro.workloads import measure_corollary4
+
+
+def test_corollary4_measurements(benchmark, report):
+    def run_sweep():
+        rows = []
+        for n in (4, 6, 8):
+            rows.extend(measure_corollary4(n, seed=0))
+        return rows
+
+    measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report("E10 Corollary 4: P_2otr vs P_1/1otr good-period lengths", [m.row() for m in measurements])
+    for measurement in measurements:
+        assert measurement.within_bound, measurement.row()
+    # The trade-off: the P_1/1otr period is shorter than the P_2otr period.
+    for n in (4, 6, 8):
+        assert corollary4_p11otr_length(n, 1.0, 2.0) < corollary4_p2otr_length(n, 1.0, 2.0)
+
+
+def test_two_short_good_periods_suffice(benchmark, report):
+    """End-to-end check of the P_1/1otr alternative: two short periods, one decision."""
+    n = 4
+    phi, delta = 1.0, 2.0
+    params = SynchronyParams(phi=phi, delta=delta)
+    short = corollary4_p11otr_length(n, phi, delta)
+    long = corollary4_p2otr_length(n, phi, delta)
+
+    def run():
+        pi0 = frozenset(range(n))
+        schedule = PeriodSchedule(
+            n=n,
+            good_periods=[
+                GoodPeriod(60.0, 60.0 + short, GoodPeriodKind.PI0_DOWN, pi0),
+                GoodPeriod(200.0, 200.0 + short, GoodPeriodKind.PI0_DOWN, pi0),
+            ],
+        )
+        stack = build_down_stack(OneThirdRule(n), [10, 20, 30, 40], params)
+        simulator = SystemSimulator(
+            stack.programs,
+            params,
+            schedule,
+            seed=3,
+            trace=stack.trace,
+            bad_network=BadPeriodNetwork(loss_probability=0.6, min_delay=1.0, max_delay=30.0),
+        )
+        simulator.run(until=400.0)
+        return stack.trace
+
+    trace = benchmark.pedantic(run, rounds=1, iterations=1)
+    decided = trace.decision_values()
+    lines = [
+        f"each good period length = {short:.1f} (P_1/1otr bound; P_2otr would need {long:.1f})",
+        f"decisions after the second good period: {decided}",
+    ]
+    report("E10b Two short good periods (P_1/1otr) are enough for consensus", lines)
+    assert len(decided) == n
+    assert len(set(decided.values())) == 1

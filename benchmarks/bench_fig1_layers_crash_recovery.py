@@ -1,0 +1,49 @@
+"""E7 -- Figure 1 and Section 3.3: one algorithm, every benign fault model.
+
+Figure 1 separates the HO algorithmic layer from the predicate
+implementation.  Section 3.3's pay-off: Algorithm 1 is used *unchanged* in
+the crash-stop and the crash-recovery model -- recoveries are handled
+entirely below the communication-predicate interface.  The benchmark runs
+the identical stack (OneThirdRule over Algorithm 2) under four fault models
+and reports safety, termination, decision latency and message counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import FAULT_MODELS, run_ho_stack
+
+
+def test_same_stack_under_every_fault_model(benchmark, report):
+    def run_all():
+        results = []
+        for fault_model in FAULT_MODELS:
+            for seed in (0, 1):
+                results.append(run_ho_stack(fault_model, n=4, seed=seed))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        "E7  Figure 1 / Section 3.3: OneThirdRule over Algorithm 2, unchanged, "
+        "under every benign fault model",
+        [result.row() for result in results],
+    )
+    for result in results:
+        assert result.safe, result.row()
+        assert result.verdict.termination, result.row()
+
+
+def test_decision_latency_scales_with_system_size(benchmark, report):
+    def run_sizes():
+        return {n: run_ho_stack("fault-free", n=n, seed=0) for n in (3, 4, 6, 8)}
+
+    results = benchmark.pedantic(run_sizes, rounds=1, iterations=1)
+    lines = [
+        f"n={n:<3} latency={result.metrics.last_decision_time:8.1f} "
+        f"messages={result.metrics.messages_sent}"
+        for n, result in results.items()
+    ]
+    report("E7b Decision latency of the HO stack vs system size (nice runs)", lines)
+    latencies = [result.metrics.last_decision_time for result in results.values()]
+    assert latencies == sorted(latencies)

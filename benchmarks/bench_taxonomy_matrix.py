@@ -1,0 +1,107 @@
+"""E9 -- Section 2.2 / 2.3: the SP / ST / DP / DT applicability matrix.
+
+Builds one representative fault configuration per taxonomy class, classifies
+it, and runs the HO stack and the Chandra-Toueg baseline under the matching
+scenario.  The claim: failure detectors are a good abstraction for SP only,
+while communication predicates (the HO stack) handle every benign class
+uniformly, because they are phrased in terms of transmission faults.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    FaultClass,
+    FaultConfiguration,
+    classify,
+    communication_predicates_applicable,
+    failure_detectors_applicable,
+)
+from repro.sysmodel import FaultSchedule
+from repro.workloads import run_chandra_toueg, run_ho_stack
+
+
+def taxonomy_configurations(n=4):
+    """One representative fault configuration per taxonomy class."""
+    return {
+        FaultClass.NONE: FaultConfiguration(n=n, schedule=FaultSchedule.none()),
+        FaultClass.SP: FaultConfiguration(
+            n=n, schedule=FaultSchedule.crash_stop([(n - 1, 10.0)])
+        ),
+        FaultClass.ST: FaultConfiguration(
+            n=n, schedule=FaultSchedule.crash_recovery([(0, 10.0, 30.0)])
+        ),
+        FaultClass.DP: FaultConfiguration(
+            n=n, schedule=FaultSchedule.crash_stop([(p, 10.0 + p) for p in range(n)])
+        ),
+        FaultClass.DT: FaultConfiguration(
+            n=n,
+            schedule=FaultSchedule.crash_recovery(
+                [(p, 10.0 + p, 40.0 + p) for p in range(n)]
+            ),
+            lossy_links=True,
+        ),
+    }
+
+
+#: fault-model name (for the scenario runners) chosen per taxonomy class
+SCENARIO_OF_CLASS = {
+    FaultClass.NONE: "fault-free",
+    FaultClass.SP: "crash-stop",
+    FaultClass.ST: "crash-recovery",
+    FaultClass.DT: "crash-recovery",
+}
+
+
+def test_classification_matches_construction(benchmark, report):
+    def classify_all():
+        return [
+            (expected_class, classify(configuration))
+            for expected_class, configuration in taxonomy_configurations().items()
+        ]
+
+    pairs = benchmark.pedantic(classify_all, rounds=1, iterations=1)
+    rows = []
+    for expected_class, computed in pairs:
+        rows.append(
+            f"{expected_class.value:<20} classified as {computed.value:<20} "
+            f"FD applicable={failure_detectors_applicable(computed)!s:<6} "
+            f"predicates applicable={communication_predicates_applicable(computed)}"
+        )
+        assert computed is expected_class
+    report("E9  Section 2.2 taxonomy: classification and applicability", rows)
+
+
+def test_empirical_applicability(benchmark, report):
+    """Run the stacks on the classes that have an executable scenario."""
+
+    def run_all():
+        rows = []
+        for fault_class, fault_model in SCENARIO_OF_CLASS.items():
+            ho = run_ho_stack(fault_model, n=4, seed=0)
+            ct = run_chandra_toueg(fault_model, n=4, seed=0)
+            rows.append((fault_class, fault_model, ho, ct))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    lines = [
+        f"{'class':<8} {'scenario':<16} {'HO stack solves':<16} {'CT solves':<10} "
+        f"{'FD predicted':<13} predicates predicted"
+    ]
+    for fault_class, fault_model, ho, ct in rows:
+        lines.append(
+            f"{fault_class.name:<8} {fault_model:<16} {str(ho.solved):<16} {str(ct.solved):<10} "
+            f"{str(failure_detectors_applicable(fault_class)):<13} "
+            f"{communication_predicates_applicable(fault_class)}"
+        )
+    report("E9b Empirical applicability matrix", lines)
+    for fault_class, fault_model, ho, ct in rows:
+        # The HO stack solves every class it was run on.
+        assert ho.solved
+        # Chandra-Toueg solves exactly the classes the taxonomy predicts.
+        if failure_detectors_applicable(fault_class):
+            assert ct.solved
+        else:
+            assert not ct.verdict.termination
+            assert ct.safe

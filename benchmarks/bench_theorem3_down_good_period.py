@@ -1,0 +1,49 @@
+"""E2 -- Theorem 3: minimal "pi0-down" good period for P_su, after a bad period.
+
+The benchmark sweeps the system size ``n``, the window length ``x`` and the
+normalised transmission delay ``delta``, measures in the step-level
+simulator the good-period length actually needed by Algorithm 2 to produce
+``x`` consecutive space-uniform rounds, and compares it against the
+closed-form bound ``(x+1)(2*delta+(n+2)*phi+1)*phi + delta + phi``.
+
+Claims checked: measured <= bound for every point; both scale linearly in
+``x``, ``n`` and ``delta``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import measure_theorem3
+
+SWEEP = [
+    # (n, x, delta, seed)
+    (3, 2, 2.0, 0),
+    (4, 1, 2.0, 0),
+    (4, 2, 2.0, 0),
+    (4, 2, 2.0, 1),
+    (4, 3, 2.0, 0),
+    (4, 2, 5.0, 0),
+    (6, 2, 2.0, 0),
+    (8, 2, 2.0, 0),
+]
+
+
+def test_theorem3_sweep(benchmark, report):
+    def run_sweep():
+        return [
+            measure_theorem3(n, x, delta=delta, seed=seed) for n, x, delta, seed in SWEEP
+        ]
+
+    measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "E2  Theorem 3: pi0-down good-period length for P_su (non-initial)",
+        [m.row() for m in measurements],
+    )
+    for measurement in measurements:
+        assert measurement.within_bound, measurement.row()
+
+    # Shape: the measured length grows with x and with n (same seed, same delta).
+    by_key = {(m.n, m.x, m.delta, m.seed): m.measured for m in measurements}
+    assert by_key[(4, 1, 2.0, 0)] <= by_key[(4, 2, 2.0, 0)] <= by_key[(4, 3, 2.0, 0)]
+    assert by_key[(4, 2, 2.0, 0)] <= by_key[(8, 2, 2.0, 0)]

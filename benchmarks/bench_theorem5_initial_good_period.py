@@ -1,0 +1,62 @@
+"""E3 -- Theorem 5 and the 3/2 remark: initial good periods ("nice runs").
+
+Measures the initial good-period length Algorithm 2 needs for ``x``
+space-uniform rounds (the nice-run scenario), checks it against
+``x(2*delta+(n+2)*phi+1)*phi``, and reproduces the paper's closing remark of
+Section 4.2.1: the ratio between the non-initial (Theorem 3) and initial
+(Theorem 5) lengths is approximately 3/2 for the relevant value ``x = 2``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predimpl import noninitial_to_initial_ratio
+from repro.workloads import measure_ratio_noninitial_vs_initial, measure_theorem5
+
+SWEEP = [
+    # (n, x, delta)
+    (3, 2, 2.0),
+    (4, 1, 2.0),
+    (4, 2, 2.0),
+    (4, 3, 2.0),
+    (4, 2, 5.0),
+    (6, 2, 2.0),
+    (8, 2, 2.0),
+]
+
+
+def test_theorem5_sweep(benchmark, report):
+    def run_sweep():
+        return [measure_theorem5(n, x, delta=delta) for n, x, delta in SWEEP]
+
+    measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "E3  Theorem 5: initial good-period length for P_su (nice runs)",
+        [m.row() for m in measurements],
+    )
+    for measurement in measurements:
+        assert measurement.within_bound, measurement.row()
+        # In the worst-case simulation the nice-run bound is tight.
+        assert measurement.measured == pytest.approx(measurement.bound)
+
+
+def test_factor_three_halves(benchmark, report):
+    """The factor ~3/2 between non-initial and initial good periods for x = 2."""
+
+    def run():
+        return {n: measure_ratio_noninitial_vs_initial(n, seed=0) for n in (4, 6, 8)}
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{'n':<4} {'bound ratio':<12} {'measured ratio':<15} analytic ratio"]
+    for n, result in results.items():
+        lines.append(
+            f"{n:<4} {result['bound_ratio']:<12.3f} "
+            f"{result.get('measured_ratio', float('nan')):<15.3f} "
+            f"{noninitial_to_initial_ratio(2, n, 1.0, 2.0):.3f}"
+        )
+    report("E3b Section 4.2.1 remark: non-initial vs initial ratio (x = 2)", lines)
+    for result in results.values():
+        assert 1.3 <= result["bound_ratio"] <= 1.7
+        if "measured_ratio" in result:
+            assert result["measured_ratio"] <= result["bound_ratio"] + 0.2

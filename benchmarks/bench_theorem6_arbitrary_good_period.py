@@ -1,0 +1,46 @@
+"""E4 -- Theorem 6: minimal "pi0-arbitrary" good period for P_k, after a bad period.
+
+Algorithm 3 (with ``f < n/2`` and ``|pi0| = n - f``) must resynchronise
+rounds after an arbitrary bad period even though the processes outside pi0
+remain completely unconstrained.  The benchmark sweeps ``n``, ``f``, ``x``
+and ``delta`` and compares the measured good-period length against
+``(x+2)[tau_0*phi + delta + n*phi + 2*phi] + tau_0*phi``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import measure_theorem6
+
+SWEEP = [
+    # (n, f, x, delta, seed)
+    (3, 1, 2, 2.0, 0),
+    (4, 1, 1, 2.0, 0),
+    (4, 1, 2, 2.0, 0),
+    (4, 1, 2, 2.0, 1),
+    (4, 1, 2, 5.0, 0),
+    (5, 2, 2, 2.0, 0),
+    (7, 3, 2, 2.0, 0),
+]
+
+
+def test_theorem6_sweep(benchmark, report):
+    def run_sweep():
+        return [
+            measure_theorem6(n, f, x, delta=delta, seed=seed)
+            for n, f, x, delta, seed in SWEEP
+        ]
+
+    measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "E4  Theorem 6: pi0-arbitrary good-period length for P_k (non-initial)",
+        [m.row() for m in measurements],
+    )
+    for measurement in measurements:
+        assert measurement.within_bound, measurement.row()
+    # Shape: larger systems need longer good periods (bounds and measurements).
+    by_key = {(m.n, m.f, m.x, m.delta, m.seed): m for m in measurements}
+    assert (
+        by_key[(4, 1, 2, 2.0, 0)].bound < by_key[(7, 3, 2, 2.0, 0)].bound
+    )

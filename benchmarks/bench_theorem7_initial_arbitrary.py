@@ -1,0 +1,60 @@
+"""E5 -- Theorem 7: minimal *initial* "pi0-arbitrary" good period for P_k.
+
+The initial-good-period (nice run) counterpart of Theorem 6: Algorithm 3
+needs ``(x-1)[tau_0*phi + delta + n*phi + 2*phi] + tau_0*phi + phi`` when the
+good period starts at time 0 and every process starts in round 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predimpl import theorem6_good_period_length, theorem7_initial_good_period_length
+from repro.workloads import measure_theorem7
+
+SWEEP = [
+    # (n, f, x, delta)
+    (3, 1, 2, 2.0),
+    (4, 1, 1, 2.0),
+    (4, 1, 2, 2.0),
+    (4, 1, 3, 2.0),
+    (4, 1, 2, 5.0),
+    (5, 2, 2, 2.0),
+    (7, 3, 2, 2.0),
+]
+
+
+def test_theorem7_sweep(benchmark, report):
+    def run_sweep():
+        return [measure_theorem7(n, f, x, delta=delta) for n, f, x, delta in SWEEP]
+
+    measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    report(
+        "E5  Theorem 7: initial pi0-arbitrary good-period length for P_k",
+        [m.row() for m in measurements],
+    )
+    for measurement in measurements:
+        assert measurement.within_bound, measurement.row()
+
+
+def test_initial_cheaper_than_non_initial(benchmark, report):
+    """For every swept point, the Theorem 7 bound is below the Theorem 6 bound."""
+
+    def compute():
+        rows = []
+        for n, f, x, delta in SWEEP:
+            initial = theorem7_initial_good_period_length(x, n, 1.0, delta)
+            non_initial = theorem6_good_period_length(x, n, 1.0, delta)
+            rows.append((n, f, x, delta, initial, non_initial))
+        return rows
+
+    rows = benchmark.pedantic(compute, rounds=1, iterations=1)
+    lines = []
+    for n, f, x, delta, initial, non_initial in rows:
+        lines.append(
+            f"n={n:<3} f={f:<2} x={x:<2} delta={delta:<5} "
+            f"initial={initial:8.1f}  non-initial={non_initial:8.1f}  "
+            f"ratio={non_initial / initial:5.2f}"
+        )
+        assert initial < non_initial
+    report("E5b Theorem 7 vs Theorem 6 (initial vs non-initial bounds)", lines)

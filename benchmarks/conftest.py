@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (Table 1, the
+timing theorems, the translation theorem, the Appendix-A comparison) and
+prints a paper-vs-measured report.  Reports are printed with the ``-s``
+flag or collected from the captured output; the numbers recorded in
+``EXPERIMENTS.md`` come from these reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import pytest
+
+
+def print_report(title: str, lines: Iterable[str]) -> None:
+    """Print a benchmark report block (visible with ``pytest -s``)."""
+    bar = "=" * 78
+    print()
+    print(bar)
+    print(title)
+    print(bar)
+    for line in lines:
+        print(line)
+    print(bar)
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing :func:`print_report` to benchmarks."""
+    return print_report

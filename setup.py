@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The project is configured in ``setup.cfg``; this file exists so that
+``pip install -e .`` works on offline environments without the ``wheel``
+package (pip then falls back to the ``setup.py develop`` editable-install
+path instead of building a wheel).
+"""
+
+from setuptools import setup
+
+setup()

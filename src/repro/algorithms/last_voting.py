@@ -1,0 +1,196 @@
+"""LastVoting: a Paxos-like, coordinator-based consensus algorithm in the HO model.
+
+The paper (Sections 1 and 5) stresses that the HO model can express the
+Paxos approach -- tolerating message loss without ever compromising safety --
+"naturally", which the failure-detector model cannot.  LastVoting is the HO
+rendition of Paxos from the Heard-Of literature (Charron-Bost & Schiper,
+reference [6] of the paper): phases of four rounds with a rotating
+coordinator, where only phases in which the coordinator hears of a majority
+make progress.
+
+Safety (integrity and agreement) holds under *any* heard-of collection.
+Liveness needs a phase ``phi`` whose coordinator ``c`` satisfies, round by
+round: ``|HO(c, 4*phi-3)| > n/2``, ``c in HO(p, 4*phi-2)`` for all p,
+``|HO(c, 4*phi-1)| > n/2`` and ``c in HO(p, 4*phi)`` for all p -- i.e. a
+"good phase".  This is weaker than a space-uniform round; the benchmark E1
+exercises both algorithms under the same collections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional, Tuple
+
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class LastVotingState:
+    """Process state of LastVoting."""
+
+    x: Any
+    timestamp: int = 0
+    vote: Optional[Any] = None
+    commit: bool = False
+    ready: bool = False
+    decision: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class LastVotingMessage:
+    """Round message of LastVoting.
+
+    The ``kind`` discriminates the four per-phase rounds; unused fields are
+    ``None``.  Every message is broadcast (HO-model style); receivers that
+    the message does not concern simply ignore it.
+    """
+
+    kind: str
+    x: Any = None
+    timestamp: int = 0
+    vote: Optional[Any] = None
+    ack: bool = False
+
+
+class LastVoting(ConsensusAlgorithm[LastVotingState, LastVotingMessage]):
+    """The LastVoting (Paxos-like) consensus algorithm, four rounds per phase."""
+
+    name = "last-voting"
+
+    ROUNDS_PER_PHASE = 4
+
+    def initial_state(self, process: ProcessId, initial_value: Any) -> LastVotingState:
+        return LastVotingState(x=initial_value)
+
+    # ------------------------------------------------------------------ #
+    # phase structure helpers
+    # ------------------------------------------------------------------ #
+
+    def phase_of(self, round: Round) -> int:
+        """The phase a round belongs to (phases are 1-based)."""
+        return (round - 1) // self.ROUNDS_PER_PHASE + 1
+
+    def step_of(self, round: Round) -> int:
+        """The position of a round within its phase: 1..4."""
+        return (round - 1) % self.ROUNDS_PER_PHASE + 1
+
+    def coordinator(self, phase: int) -> ProcessId:
+        """The rotating coordinator of a phase."""
+        return (phase - 1) % self.n
+
+    # ------------------------------------------------------------------ #
+    # sending function
+    # ------------------------------------------------------------------ #
+
+    def send(
+        self, round: Round, process: ProcessId, state: LastVotingState
+    ) -> LastVotingMessage:
+        phase = self.phase_of(round)
+        step = self.step_of(round)
+        coord = self.coordinator(phase)
+        if step == 1:
+            return LastVotingMessage(kind="estimate", x=state.x, timestamp=state.timestamp)
+        if step == 2:
+            if process == coord and state.commit:
+                return LastVotingMessage(kind="vote", vote=state.vote)
+            return LastVotingMessage(kind="noop")
+        if step == 3:
+            if state.timestamp == phase:
+                return LastVotingMessage(kind="ack", ack=True)
+            return LastVotingMessage(kind="noop")
+        # step == 4
+        if process == coord and state.ready:
+            return LastVotingMessage(kind="decide", vote=state.vote)
+        return LastVotingMessage(kind="noop")
+
+    # ------------------------------------------------------------------ #
+    # transition function
+    # ------------------------------------------------------------------ #
+
+    def transition(
+        self,
+        round: Round,
+        process: ProcessId,
+        state: LastVotingState,
+        received: Mapping[ProcessId, LastVotingMessage],
+    ) -> LastVotingState:
+        phase = self.phase_of(round)
+        step = self.step_of(round)
+        coord = self.coordinator(phase)
+
+        if step == 1:
+            return self._transition_select(state, process, coord, received)
+        if step == 2:
+            return self._transition_adopt(state, phase, coord, received)
+        if step == 3:
+            return self._transition_collect_acks(state, process, coord, received)
+        return self._transition_decide(state, coord, received)
+
+    def _transition_select(
+        self,
+        state: LastVotingState,
+        process: ProcessId,
+        coord: ProcessId,
+        received: Mapping[ProcessId, LastVotingMessage],
+    ) -> LastVotingState:
+        if process != coord:
+            return state
+        estimates = [
+            (message.timestamp, message.x)
+            for message in received.values()
+            if message.kind == "estimate"
+        ]
+        if 2 * len(estimates) <= self.n:
+            return state
+        best_timestamp = max(timestamp for timestamp, _ in estimates)
+        candidates = sorted(
+            (x for timestamp, x in estimates if timestamp == best_timestamp),
+            key=repr,
+        )
+        return replace(state, vote=candidates[0], commit=True)
+
+    def _transition_adopt(
+        self,
+        state: LastVotingState,
+        phase: int,
+        coord: ProcessId,
+        received: Mapping[ProcessId, LastVotingMessage],
+    ) -> LastVotingState:
+        message = received.get(coord)
+        if message is not None and message.kind == "vote":
+            return replace(state, x=message.vote, timestamp=phase)
+        return state
+
+    def _transition_collect_acks(
+        self,
+        state: LastVotingState,
+        process: ProcessId,
+        coord: ProcessId,
+        received: Mapping[ProcessId, LastVotingMessage],
+    ) -> LastVotingState:
+        if process != coord:
+            return state
+        acks = sum(1 for message in received.values() if message.kind == "ack" and message.ack)
+        if 2 * acks > self.n:
+            return replace(state, ready=True)
+        return state
+
+    def _transition_decide(
+        self,
+        state: LastVotingState,
+        coord: ProcessId,
+        received: Mapping[ProcessId, LastVotingMessage],
+    ) -> LastVotingState:
+        decision = state.decision
+        message = received.get(coord)
+        if message is not None and message.kind == "decide" and decision is None:
+            decision = message.vote
+        # End of phase: the coordinator flags are reset.
+        return replace(state, decision=decision, commit=False, ready=False)
+
+    def decision(self, state: LastVotingState) -> Optional[Any]:
+        return state.decision
+
+
+__all__ = ["LastVoting", "LastVotingState", "LastVotingMessage"]

@@ -1,0 +1,103 @@
+"""The OneThirdRule consensus algorithm (Algorithm 1 of the paper).
+
+OneThirdRule is a coordinator-free, one-message-per-round consensus
+algorithm.  In every round each process broadcasts its current estimate
+``x_p``; on reception it applies the transition function:
+
+* if more than ``2n/3`` values were received, then
+
+  - if all received values, except at most ``floor(n/3)`` of them, are equal
+    to some value ``x``, adopt ``x``;
+  - otherwise adopt the smallest received value;
+
+  and, independently,
+
+  - if more than ``2n/3`` of the received values are equal to some value
+    ``x``, decide ``x``.
+
+The algorithm never violates integrity or agreement under *any* heard-of
+collection (Theorem 1 and the property-based tests); paired with ``P_otr``
+it solves consensus for all of Pi, and paired with ``P_restr_otr`` it solves
+consensus for the processes of Pi0 (Theorem 2).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
+
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class OneThirdRuleState:
+    """Process state of OneThirdRule: the current estimate and the decision."""
+
+    x: Any
+    decision: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class OneThirdRuleMessage:
+    """Round message of OneThirdRule: just the sender's current estimate."""
+
+    x: Any
+
+
+class OneThirdRule(ConsensusAlgorithm[OneThirdRuleState, OneThirdRuleMessage]):
+    """Algorithm 1: the OneThirdRule consensus algorithm.
+
+    Initial values must be totally ordered (line 11 of the algorithm adopts
+    the *smallest* received value); integers and strings both work.
+    """
+
+    name = "one-third-rule"
+
+    def initial_state(self, process: ProcessId, initial_value: Any) -> OneThirdRuleState:
+        return OneThirdRuleState(x=initial_value)
+
+    def send(
+        self, round: Round, process: ProcessId, state: OneThirdRuleState
+    ) -> OneThirdRuleMessage:
+        return OneThirdRuleMessage(x=state.x)
+
+    def transition(
+        self,
+        round: Round,
+        process: ProcessId,
+        state: OneThirdRuleState,
+        received: Mapping[ProcessId, OneThirdRuleMessage],
+    ) -> OneThirdRuleState:
+        n = self.n
+        values = [message.x for message in received.values()]
+        if len(values) * 3 <= 2 * n:
+            # |HO(p, r)| <= 2n/3: the state is left unchanged.
+            return state
+
+        counts = Counter(values)
+        new_x = state.x
+        most_common_value, most_common_count = counts.most_common(1)[0]
+        if len(values) - most_common_count <= n // 3:
+            # All received values except at most floor(n/3) equal this value.
+            new_x = most_common_value
+        else:
+            new_x = min(values)
+
+        decision = state.decision
+        if decision is None:
+            for value, count in counts.items():
+                if 3 * count > 2 * n:
+                    decision = value
+                    break
+
+        if new_x == state.x and decision == state.decision:
+            return state
+        return replace(state, x=new_x, decision=decision)
+
+    def decision(self, state: OneThirdRuleState) -> Optional[Any]:
+        return state.decision
+
+
+__all__ = ["OneThirdRule", "OneThirdRuleState", "OneThirdRuleMessage"]

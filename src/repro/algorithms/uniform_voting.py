@@ -1,0 +1,112 @@
+"""UniformVoting: a two-rounds-per-phase consensus algorithm for non-empty kernels.
+
+UniformVoting comes from the Heard-Of literature (reference [6] of the
+paper).  It solves consensus under the communication predicate "every round
+has a non-empty kernel, and eventually there is a space-uniform round":
+
+* safety relies on the non-empty kernel of voting rounds -- two processes can
+  never lock conflicting votes in the same phase because their heard-of sets
+  intersect;
+* liveness relies on one space-uniform round in which everybody sees the same
+  votes.
+
+It is included (a) as a second coordinator-free algorithm for the E1
+benchmark, and (b) because it exercises a *different* class of predicates
+than OneThirdRule, demonstrating the expressiveness claim of Section 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
+
+from ..core.algorithm import ConsensusAlgorithm
+from ..core.types import ProcessId, Round
+
+
+@dataclass(frozen=True)
+class UniformVotingState:
+    """Process state of UniformVoting: estimate, current-phase vote and decision."""
+
+    x: Any
+    vote: Optional[Any] = None
+    decision: Optional[Any] = None
+
+
+@dataclass(frozen=True)
+class UniformVotingMessage:
+    """Round message of UniformVoting: the estimate, plus the vote in even rounds."""
+
+    x: Any
+    vote: Optional[Any] = None
+
+
+class UniformVoting(ConsensusAlgorithm[UniformVotingState, UniformVotingMessage]):
+    """The UniformVoting consensus algorithm, two rounds per phase."""
+
+    name = "uniform-voting"
+
+    ROUNDS_PER_PHASE = 2
+
+    def initial_state(self, process: ProcessId, initial_value: Any) -> UniformVotingState:
+        return UniformVotingState(x=initial_value)
+
+    def phase_of(self, round: Round) -> int:
+        """The phase a round belongs to (phases are 1-based)."""
+        return (round - 1) // self.ROUNDS_PER_PHASE + 1
+
+    def is_voting_round(self, round: Round) -> bool:
+        """Whether *round* is the first (voting) round of its phase."""
+        return round % 2 == 1
+
+    def send(
+        self, round: Round, process: ProcessId, state: UniformVotingState
+    ) -> UniformVotingMessage:
+        if self.is_voting_round(round):
+            return UniformVotingMessage(x=state.x)
+        return UniformVotingMessage(x=state.x, vote=state.vote)
+
+    def transition(
+        self,
+        round: Round,
+        process: ProcessId,
+        state: UniformVotingState,
+        received: Mapping[ProcessId, UniformVotingMessage],
+    ) -> UniformVotingState:
+        if self.is_voting_round(round):
+            return self._transition_vote(state, received)
+        return self._transition_resolve(state, received)
+
+    def _transition_vote(
+        self,
+        state: UniformVotingState,
+        received: Mapping[ProcessId, UniformVotingMessage],
+    ) -> UniformVotingState:
+        values = [message.x for message in received.values()]
+        if values and all(value == values[0] for value in values):
+            return replace(state, vote=values[0])
+        return replace(state, vote=None)
+
+    def _transition_resolve(
+        self,
+        state: UniformVotingState,
+        received: Mapping[ProcessId, UniformVotingMessage],
+    ) -> UniformVotingState:
+        if not received:
+            return replace(state, vote=None)
+        votes = [message.vote for message in received.values() if message.vote is not None]
+        estimates = [message.x for message in received.values()]
+        if votes:
+            new_x = votes[0]
+        else:
+            new_x = min(estimates)
+        decision = state.decision
+        if decision is None and len(votes) == len(received):
+            decision = votes[0]
+        return replace(state, x=new_x, vote=None, decision=decision)
+
+    def decision(self, state: UniformVotingState) -> Optional[Any]:
+        return state.decision
+
+
+__all__ = ["UniformVoting", "UniformVotingState", "UniformVotingMessage"]

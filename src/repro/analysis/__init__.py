@@ -1,0 +1,36 @@
+"""Analysis layer: fault taxonomy, consensus checking and run metrics."""
+
+from .consensus_check import ConsensusVerdict, check_consensus
+from .metrics import (
+    AlgorithmComplexity,
+    RunMetrics,
+    algorithm_complexity_summary,
+    metrics_from_des,
+    metrics_from_ho_trace,
+    metrics_from_system_trace,
+)
+from .taxonomy import (
+    APPLICABILITY,
+    FaultClass,
+    FaultConfiguration,
+    classify,
+    communication_predicates_applicable,
+    failure_detectors_applicable,
+)
+
+__all__ = [
+    "ConsensusVerdict",
+    "check_consensus",
+    "RunMetrics",
+    "metrics_from_ho_trace",
+    "metrics_from_system_trace",
+    "metrics_from_des",
+    "AlgorithmComplexity",
+    "algorithm_complexity_summary",
+    "FaultClass",
+    "FaultConfiguration",
+    "classify",
+    "APPLICABILITY",
+    "failure_detectors_applicable",
+    "communication_predicates_applicable",
+]

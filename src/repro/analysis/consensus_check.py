@@ -1,0 +1,98 @@
+"""Checking the consensus specification (Section 3.1) on recorded runs.
+
+Consensus is specified by three conditions:
+
+* *Integrity*: any decision value is the initial value of some process;
+* *Agreement*: no two processes decide differently;
+* *Termination*: all processes (or, for restricted-scope predicates, all
+  processes of the scope Pi0) eventually decide.
+
+The checker works on both kinds of traces produced by the library: the
+round-level :class:`~repro.core.types.RunTrace` of the HO machine, and the
+step-level :class:`~repro.sysmodel.trace.SystemRunTrace` of the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from ..core.types import ProcessId, RunTrace
+from ..sysmodel.trace import SystemRunTrace
+
+
+@dataclass(frozen=True)
+class ConsensusVerdict:
+    """The outcome of checking the consensus properties on one run."""
+
+    integrity: bool
+    agreement: bool
+    termination: bool
+    decisions: Mapping[ProcessId, Any]
+    violations: Sequence[str] = ()
+
+    @property
+    def safe(self) -> bool:
+        """Integrity and agreement together (the properties that must never break)."""
+        return self.integrity and self.agreement
+
+    @property
+    def solved(self) -> bool:
+        """All three conditions."""
+        return self.safe and self.termination
+
+
+def _decisions_of(trace: Union[RunTrace, SystemRunTrace]) -> Dict[ProcessId, Any]:
+    if isinstance(trace, SystemRunTrace):
+        return dict(trace.decision_values())
+    return dict(trace.decisions())
+
+
+def check_consensus(
+    trace: Union[RunTrace, SystemRunTrace],
+    initial_values: Sequence[Any] | Mapping[ProcessId, Any],
+    scope: Optional[Iterable[ProcessId]] = None,
+) -> ConsensusVerdict:
+    """Check integrity, agreement and termination of a recorded run.
+
+    *scope* is the set of processes required to decide (defaults to all);
+    it corresponds to the Pi0 of restricted-scope predicates such as
+    ``P_restr_otr`` (Theorem 2 only guarantees termination for Pi0).
+    """
+    if isinstance(initial_values, Mapping):
+        values = dict(initial_values)
+    else:
+        values = dict(enumerate(initial_values))
+    decisions = _decisions_of(trace)
+    violations: List[str] = []
+
+    allowed = set(values.values())
+    integrity = True
+    for process, decision in decisions.items():
+        if decision not in allowed:
+            integrity = False
+            violations.append(
+                f"process {process} decided {decision!r}, which is not an initial value"
+            )
+
+    distinct = set(decisions.values())
+    agreement = len(distinct) <= 1
+    if not agreement:
+        violations.append(f"processes decided different values: {sorted(map(repr, distinct))}")
+
+    scope_set = set(values) if scope is None else set(scope)
+    missing = scope_set - set(decisions)
+    termination = not missing
+    if missing:
+        violations.append(f"processes {sorted(missing)} never decided")
+
+    return ConsensusVerdict(
+        integrity=integrity,
+        agreement=agreement,
+        termination=termination,
+        decisions=decisions,
+        violations=tuple(violations),
+    )
+
+
+__all__ = ["ConsensusVerdict", "check_consensus"]

@@ -1,0 +1,115 @@
+"""Core of the Heard-Of (HO) model: rounds, algorithms, predicates, oracles.
+
+The subpackage implements the paper's primary abstraction (Section 3):
+
+* :mod:`repro.core.types` -- process ids, rounds, heard-of sets and traces;
+* :mod:`repro.core.algorithm` -- the ``<S_p^r, T_p^r>`` algorithm interface;
+* :mod:`repro.core.machine` -- a pure round-level executor (HO machine);
+* :mod:`repro.core.predicates` -- communication predicates (Table 1 and
+  Section 4.2);
+* :mod:`repro.core.adversary` -- heard-of oracles playing the environment.
+"""
+
+from .algorithm import ConsensusAlgorithm, HOAlgorithm
+from .adversary import (
+    FaultFreeOracle,
+    GoodPeriodOracle,
+    HOOracleBase,
+    KernelOnlyOracle,
+    PartitionOracle,
+    RandomOmissionOracle,
+    ScriptedOracle,
+    SilentRoundsOracle,
+    StaticCrashOracle,
+)
+from .machine import HOMachine, HOOracle, run_ho_algorithm
+from .predicates import (
+    And,
+    CommunicationPredicate,
+    ExistsPi0,
+    MajorityEveryRound,
+    NonEmptyKernelEveryRound,
+    Not,
+    Or,
+    P11Otr,
+    P2Otr,
+    PKernel,
+    POtr,
+    PRestrOtr,
+    PSpaceUniform,
+    PerRoundCardinality,
+    TruePredicate,
+    UniformRoundExists,
+    exists_p11otr,
+    exists_p2otr,
+    find_pk_window,
+    find_psu_window,
+    otr_threshold,
+    pk_holds,
+    psu_holds,
+)
+from .types import (
+    HOCollection,
+    HOSet,
+    ProcessId,
+    ProcessRoundRecord,
+    Round,
+    RoundMessage,
+    RunTrace,
+    all_processes,
+    validate_process_subset,
+)
+
+__all__ = [
+    # types
+    "ProcessId",
+    "Round",
+    "HOSet",
+    "RoundMessage",
+    "HOCollection",
+    "ProcessRoundRecord",
+    "RunTrace",
+    "all_processes",
+    "validate_process_subset",
+    # algorithm interface
+    "HOAlgorithm",
+    "ConsensusAlgorithm",
+    # machine
+    "HOMachine",
+    "HOOracle",
+    "run_ho_algorithm",
+    # predicates
+    "CommunicationPredicate",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "PerRoundCardinality",
+    "MajorityEveryRound",
+    "NonEmptyKernelEveryRound",
+    "UniformRoundExists",
+    "POtr",
+    "PRestrOtr",
+    "PSpaceUniform",
+    "PKernel",
+    "P2Otr",
+    "P11Otr",
+    "ExistsPi0",
+    "exists_p2otr",
+    "exists_p11otr",
+    "psu_holds",
+    "pk_holds",
+    "find_psu_window",
+    "find_pk_window",
+    "otr_threshold",
+    # oracles
+    "HOOracleBase",
+    "FaultFreeOracle",
+    "StaticCrashOracle",
+    "RandomOmissionOracle",
+    "PartitionOracle",
+    "SilentRoundsOracle",
+    "ScriptedOracle",
+    "GoodPeriodOracle",
+    "KernelOnlyOracle",
+]

@@ -1,0 +1,256 @@
+"""Basic types of the Heard-Of (HO) model.
+
+The HO model (Section 3 of the paper) is a communication-closed round model:
+in every round ``r`` each process ``p`` sends a message computed by its
+sending function ``S_p^r`` and then makes a state transition with its
+transition function ``T_p^r`` applied to the partial vector of messages it
+received in that round.  The *heard-of set* ``HO(p, r)`` is the set of
+processes (possibly including ``p`` itself) from which ``p`` received a
+message in round ``r``.  Every fault -- a process crash, a send or receive
+omission, a message loss on a link -- manifests at this level as a
+*transmission fault*: the sender is simply absent from the heard-of set.
+
+This module defines the identifiers, heard-of collections and run traces
+shared by the algorithmic layer (:mod:`repro.algorithms`), the predicate
+layer (:mod:`repro.core.predicates`) and the predicate-implementation layer
+(:mod:`repro.predimpl`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+#: A process identifier.  Processes are numbered ``0 .. n-1``.
+ProcessId = int
+
+#: A round number.  Rounds start at 1, matching the paper (``r > 0``).
+Round = int
+
+#: A heard-of set: the set of processes a given process heard of in a round.
+HOSet = FrozenSet[ProcessId]
+
+
+def all_processes(n: int) -> FrozenSet[ProcessId]:
+    """Return the full process set ``Pi = {0, ..., n-1}``."""
+    if n <= 0:
+        raise ValueError(f"number of processes must be positive, got {n}")
+    return frozenset(range(n))
+
+
+def validate_process_subset(subset: Iterable[ProcessId], n: int) -> FrozenSet[ProcessId]:
+    """Validate that *subset* only contains processes in ``0 .. n-1``.
+
+    Returns the subset as a frozenset.  Raises :class:`ValueError` otherwise.
+    """
+    result = frozenset(subset)
+    if not result.issubset(all_processes(n)):
+        bad = sorted(result - all_processes(n))
+        raise ValueError(f"process ids {bad} are outside 0..{n - 1}")
+    return result
+
+
+@dataclass(frozen=True)
+class RoundMessage:
+    """A message tagged with the round it belongs to.
+
+    The HO machine itself only needs the payload; the round tag is used by
+    the predicate-implementation layer (Algorithms 2 and 3), whose messages
+    on the wire carry explicit round numbers.
+    """
+
+    round: Round
+    sender: ProcessId
+    payload: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RoundMessage(r={self.round}, from={self.sender}, {self.payload!r})"
+
+
+class HOCollection:
+    """A recorded collection of heard-of sets ``HO(p, r)``.
+
+    Communication predicates (:mod:`repro.core.predicates`) are evaluated
+    over instances of this class.  The collection is *finite*: it covers the
+    rounds ``1 .. max_round`` actually executed by a run.  Predicates of the
+    form "there exists a round such that ..." are interpreted over that
+    finite window, which is the standard way of checking liveness-enabling
+    predicates on finite executions.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"number of processes must be positive, got {n}")
+        self._n = n
+        self._sets: Dict[Tuple[ProcessId, Round], HOSet] = {}
+        self._max_round: Round = 0
+
+    @property
+    def n(self) -> int:
+        """Number of processes in the system."""
+        return self._n
+
+    @property
+    def processes(self) -> FrozenSet[ProcessId]:
+        """The full process set Pi."""
+        return all_processes(self._n)
+
+    @property
+    def max_round(self) -> Round:
+        """The largest round for which at least one HO set was recorded."""
+        return self._max_round
+
+    def record(self, process: ProcessId, round: Round, ho_set: Iterable[ProcessId]) -> None:
+        """Record ``HO(process, round)``.
+
+        Re-recording the same (process, round) pair overwrites the previous
+        value; this is convenient for simulators that finalise a round only
+        when the transition function runs.
+        """
+        if not 0 <= process < self._n:
+            raise ValueError(f"process {process} outside 0..{self._n - 1}")
+        if round <= 0:
+            raise ValueError(f"round numbers start at 1, got {round}")
+        ho = validate_process_subset(ho_set, self._n)
+        self._sets[(process, round)] = ho
+        if round > self._max_round:
+            self._max_round = round
+
+    def ho(self, process: ProcessId, round: Round) -> HOSet:
+        """Return ``HO(process, round)``; the empty set if nothing recorded."""
+        return self._sets.get((process, round), frozenset())
+
+    def has_record(self, process: ProcessId, round: Round) -> bool:
+        """Whether an HO set was explicitly recorded for (process, round)."""
+        return (process, round) in self._sets
+
+    def rounds(self) -> range:
+        """The range of rounds ``1 .. max_round`` covered by the collection."""
+        return range(1, self._max_round + 1)
+
+    def kernel(self, round: Round, scope: Optional[Iterable[ProcessId]] = None) -> HOSet:
+        """The kernel of *round*: processes heard by every process in *scope*.
+
+        ``K(r) = intersection over p in scope of HO(p, r)``.  The default
+        scope is the full process set Pi.
+        """
+        members = list(self.processes if scope is None else validate_process_subset(scope, self._n))
+        if not members:
+            return frozenset()
+        result = self.ho(members[0], round)
+        for p in members[1:]:
+            result = result & self.ho(p, round)
+        return result
+
+    def is_space_uniform(self, round: Round, scope: Optional[Iterable[ProcessId]] = None) -> bool:
+        """Whether all processes in *scope* have the same HO set in *round*."""
+        members = list(self.processes if scope is None else validate_process_subset(scope, self._n))
+        if not members:
+            return True
+        first = self.ho(members[0], round)
+        return all(self.ho(p, round) == first for p in members[1:])
+
+    def items(self) -> Iterator[Tuple[ProcessId, Round, HOSet]]:
+        """Iterate over recorded ``(process, round, HO set)`` triples."""
+        for (p, r), ho in sorted(self._sets.items(), key=lambda kv: (kv[0][1], kv[0][0])):
+            yield p, r, ho
+
+    def restrict(self, scope: Iterable[ProcessId]) -> "HOCollection":
+        """Return a copy with HO sets intersected with *scope*.
+
+        Useful for analysing the behaviour of a subsystem ``pi0``.
+        """
+        scope_set = validate_process_subset(scope, self._n)
+        out = HOCollection(self._n)
+        for (p, r), ho in self._sets.items():
+            if p in scope_set:
+                out.record(p, r, ho & scope_set)
+        return out
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HOCollection):
+            return NotImplemented
+        return self._n == other._n and self._sets == other._sets
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"HOCollection(n={self._n}, rounds=1..{self._max_round})"
+
+
+@dataclass
+class ProcessRoundRecord:
+    """Everything recorded about one process in one round of a run."""
+
+    process: ProcessId
+    round: Round
+    ho_set: HOSet
+    state_after: Any
+    decision: Optional[Any]
+    sent_payload: Any = None
+
+
+@dataclass
+class RunTrace:
+    """The full trace of an HO-machine run.
+
+    Holds the heard-of collection, per-round per-process records, the
+    decisions observed, and message accounting.  The analysis layer
+    (:mod:`repro.analysis`) checks consensus properties and communication
+    predicates against instances of this class.
+    """
+
+    n: int
+    ho_collection: HOCollection
+    records: List[ProcessRoundRecord] = field(default_factory=list)
+    initial_values: Dict[ProcessId, Any] = field(default_factory=dict)
+    messages_sent: int = 0
+    messages_delivered: int = 0
+
+    def decisions(self) -> Dict[ProcessId, Any]:
+        """Map of process -> first decision value (processes without a decision are absent)."""
+        out: Dict[ProcessId, Any] = {}
+        for record in self.records:
+            if record.decision is not None and record.process not in out:
+                out[record.process] = record.decision
+        return out
+
+    def decision_rounds(self) -> Dict[ProcessId, Round]:
+        """Map of process -> round in which it first decided."""
+        out: Dict[ProcessId, Round] = {}
+        for record in self.records:
+            if record.decision is not None and record.process not in out:
+                out[record.process] = record.round
+        return out
+
+    def all_decided(self, scope: Optional[Iterable[ProcessId]] = None) -> bool:
+        """Whether every process in *scope* (default: all) decided."""
+        scope_set = all_processes(self.n) if scope is None else validate_process_subset(scope, self.n)
+        decided = set(self.decisions())
+        return scope_set.issubset(decided)
+
+    def rounds_executed(self) -> Round:
+        """The number of rounds recorded in the trace."""
+        return self.ho_collection.max_round
+
+    def records_for_round(self, round: Round) -> List[ProcessRoundRecord]:
+        """All per-process records for a given round."""
+        return [record for record in self.records if record.round == round]
+
+    def records_for_process(self, process: ProcessId) -> List[ProcessRoundRecord]:
+        """All per-round records for a given process, in round order."""
+        return sorted(
+            (record for record in self.records if record.process == process),
+            key=lambda record: record.round,
+        )
+
+
+__all__ = [
+    "ProcessId",
+    "Round",
+    "HOSet",
+    "RoundMessage",
+    "HOCollection",
+    "ProcessRoundRecord",
+    "RunTrace",
+    "all_processes",
+    "validate_process_subset",
+]

@@ -1,0 +1,14 @@
+"""Event-driven asynchronous simulator used by the failure-detector baselines."""
+
+from .events import DecisionEvent, Event, EventKind
+from .simulator import ChannelConfig, DESProcess, EventSimulator, ProcessContext
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "DecisionEvent",
+    "ChannelConfig",
+    "DESProcess",
+    "ProcessContext",
+    "EventSimulator",
+]

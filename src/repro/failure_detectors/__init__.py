@@ -1,0 +1,28 @@
+"""Failure-detector baselines (Appendix A of the paper).
+
+* :mod:`repro.failure_detectors.detectors` -- the ◇S and ◇Su oracles;
+* :mod:`repro.failure_detectors.chandra_toueg` -- Algorithm 5: consensus
+  with ◇S in the crash-stop model (rotating coordinator);
+* :mod:`repro.failure_detectors.aguilera` -- Algorithm 6: consensus with
+  ◇Su, stable storage and retransmission in the crash-recovery model.
+"""
+
+from .aguilera import ACTMessage, AguileraProcess, build_aguilera_processes
+from .chandra_toueg import CTMessage, ChandraTouegProcess, build_chandra_toueg_processes
+from .detectors import (
+    EventuallyStrongDetector,
+    EventuallyStrongRecoveryDetector,
+    TrustListOutput,
+)
+
+__all__ = [
+    "EventuallyStrongDetector",
+    "EventuallyStrongRecoveryDetector",
+    "TrustListOutput",
+    "CTMessage",
+    "ChandraTouegProcess",
+    "build_chandra_toueg_processes",
+    "ACTMessage",
+    "AguileraProcess",
+    "build_aguilera_processes",
+]

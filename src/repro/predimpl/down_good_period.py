@@ -1,0 +1,186 @@
+"""Algorithm 2: ensuring ``P_su(pi0, -, -)`` in a "pi0-down" good period.
+
+The program drives an upper-layer HO algorithm (its ``S_p^r`` / ``T_p^r``
+functions) from the step-based system model:
+
+* it sends ``<msg, r>`` to all at the beginning of round ``r`` (one send
+  step),
+* it then takes receive steps until either it has taken
+  ``ceil(2*delta + (n+2)*phi)`` of them (the round timeout) or it receives a
+  message with a higher round number ``r' > r``, in which case it jumps to
+  round ``r'``,
+* it finally runs ``T_p^r`` with the messages received for round ``r`` and
+  ``T_p^{r'}`` with the empty set for every skipped round ``r'``.
+
+The reception policy is "highest round number first".  The round number and
+the upper-layer state live on stable storage; after a crash the process
+recovers at the top of the loop with the message set and the next-round
+variable reinitialised, exactly as specified in Section 4.2.1.
+
+Algorithm 2 sends no messages of its own: only the upper layer's messages
+travel on the network.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from ..core.algorithm import HOAlgorithm
+from ..core.types import ProcessId, Round
+from ..sysmodel.network import Envelope
+from ..sysmodel.params import SynchronyParams
+from ..sysmodel.process import ReceiveStep, SendStep, StepProgram, StepProgramGenerator
+from ..sysmodel.trace import SystemRunTrace
+from .wire import WireKind, WireMessage, round_message
+
+#: Stable-storage keys used by the program (Section 4.2: ``r_p`` and ``s_p``).
+ROUND_KEY = "round"
+STATE_KEY = "state"
+
+
+class DownGoodPeriodProgram(StepProgram):
+    """One process of Algorithm 2, implementing ``P_su`` in "pi0-down" good periods."""
+
+    def __init__(
+        self,
+        process_id: ProcessId,
+        n: int,
+        algorithm: HOAlgorithm,
+        initial_value: Any,
+        params: SynchronyParams,
+        trace: SystemRunTrace,
+    ) -> None:
+        super().__init__(process_id, n)
+        self.algorithm = algorithm
+        self.params = params
+        self.trace = trace
+        #: receive-step budget per round: ceil(2*delta + (n+2)*phi)
+        self.timeout = params.algorithm2_timeout(n)
+        self.stable_storage.store(ROUND_KEY, 1)
+        self.stable_storage.store(
+            STATE_KEY, algorithm.initial_state(process_id, initial_value)
+        )
+
+    # ------------------------------------------------------------------ #
+    # reception policy: highest round number first
+    # ------------------------------------------------------------------ #
+
+    def select_message(self, buffered: Sequence[Envelope]) -> Optional[Envelope]:
+        if not buffered:
+            return None
+        return max(
+            buffered,
+            key=lambda envelope: (
+                self._round_of(envelope),
+                -envelope.sequence,
+            ),
+        )
+
+    @staticmethod
+    def _round_of(envelope: Envelope) -> Round:
+        payload = envelope.payload
+        if isinstance(payload, WireMessage):
+            return payload.round
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # the program (Algorithm 2, lines 6-22)
+    # ------------------------------------------------------------------ #
+
+    def program(self) -> StepProgramGenerator:
+        round_number: Round = self.stable_storage.load(ROUND_KEY)
+        state = self.stable_storage.load(STATE_KEY)
+        # Volatile: messages received, keyed by (round, sender).
+        received_messages: Dict[Tuple[Round, ProcessId], Any] = {}
+        next_round = round_number
+
+        while True:
+            payload = self.algorithm.send(round_number, self.process_id, state)
+            result = yield SendStep(payload=round_message(round_number, payload))
+            self.trace.record_round_start(self.process_id, round_number, result.time)
+
+            receive_steps = 0
+            last_time = result.time
+            while next_round == round_number:
+                receive_steps += 1
+                if receive_steps >= self.timeout:
+                    next_round = round_number + 1
+                result = yield ReceiveStep()
+                last_time = result.time
+                envelope = result.envelope
+                if envelope is not None and isinstance(envelope.payload, WireMessage):
+                    message = envelope.payload
+                    if message.kind is WireKind.ROUND and message.round >= round_number:
+                        received_messages[(message.round, envelope.sender)] = message.payload
+                        self.trace.record_reception(
+                            self.process_id, message.round, envelope.sender, result.time
+                        )
+                        if message.round > round_number:
+                            next_round = message.round
+
+            state = self._finish_rounds(
+                round_number, next_round, state, received_messages, last_time
+            )
+            round_number = next_round
+            self.stable_storage.store(ROUND_KEY, round_number)
+            self.stable_storage.store(STATE_KEY, state)
+            # Messages for rounds already finished can safely be discarded.
+            received_messages = {
+                key: value for key, value in received_messages.items() if key[0] >= round_number
+            }
+
+    def _finish_rounds(
+        self,
+        round_number: Round,
+        next_round: Round,
+        state: Any,
+        received_messages: Dict[Tuple[Round, ProcessId], Any],
+        time: float,
+    ) -> Any:
+        """Run ``T^r`` for the finished round and ``T^{r'}(empty)`` for skipped rounds."""
+        round_view = {
+            sender: payload
+            for (message_round, sender), payload in received_messages.items()
+            if message_round == round_number
+        }
+        self.trace.record_round(self.process_id, round_number, round_view.keys(), time)
+        state = self.algorithm.transition(round_number, self.process_id, state, round_view)
+        self._maybe_record_decision(state, round_number, time)
+        for skipped in range(round_number + 1, next_round):
+            self.trace.record_round(self.process_id, skipped, frozenset(), time)
+            state = self.algorithm.transition(skipped, self.process_id, state, {})
+            self._maybe_record_decision(state, skipped, time)
+        return state
+
+    def _maybe_record_decision(self, state: Any, round_number: Round, time: float) -> None:
+        decision = self.algorithm.decision(state)
+        if decision is not None:
+            self.trace.record_decision(self.process_id, decision, round_number, time)
+
+
+def build_down_period_programs(
+    algorithm: HOAlgorithm,
+    initial_values: Sequence[Any],
+    params: SynchronyParams,
+    trace: SystemRunTrace,
+) -> list[DownGoodPeriodProgram]:
+    """One :class:`DownGoodPeriodProgram` per process, sharing *trace*."""
+    n = algorithm.n
+    if len(initial_values) != n:
+        raise ValueError(
+            f"expected {n} initial values, got {len(initial_values)}"
+        )
+    return [
+        DownGoodPeriodProgram(
+            process_id=p,
+            n=n,
+            algorithm=algorithm,
+            initial_value=initial_values[p],
+            params=params,
+            trace=trace,
+        )
+        for p in range(n)
+    ]
+
+
+__all__ = ["DownGoodPeriodProgram", "build_down_period_programs", "ROUND_KEY", "STATE_KEY"]

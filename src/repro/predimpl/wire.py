@@ -1,0 +1,67 @@
+"""Wire format of the predicate-implementation layer.
+
+Algorithms 2 and 3 exchange two kinds of messages:
+
+* ``ROUND`` messages ``<ROUND, r, msg>`` carrying the upper-layer payload
+  ``msg = S_p^r(s_p)`` for round ``r`` (Algorithm 2 only uses these);
+* ``INIT`` messages ``<INIT, r+1, msg>`` by which a process announces its
+  intention to enter round ``r+1``; they piggy-back the sender's current
+  round-``r`` payload so that the evidence they provide about round ``r``
+  is not lost (Algorithm 3, lines 12-20).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.types import Round
+
+
+class WireKind(enum.Enum):
+    """The two message kinds of the predicate-implementation layer."""
+
+    ROUND = "ROUND"
+    INIT = "INIT"
+
+
+@dataclass(frozen=True)
+class WireMessage:
+    """A message of the predicate-implementation layer.
+
+    For ``ROUND`` messages, *round* is the round the payload belongs to.
+    For ``INIT`` messages, *round* is the round the sender intends to enter;
+    the payload is the sender's message for round ``round - 1``.
+    """
+
+    kind: WireKind
+    round: Round
+    payload: Any
+
+    def evidence_round(self) -> Round:
+        """The round this message is evidence for (Algorithm 3, line 12).
+
+        A ``ROUND`` message for round ``r`` proves the sender reached round
+        ``r``; an ``INIT`` message for round ``r+1`` proves the sender
+        finished (the receive phase of) round ``r``.
+        """
+        if self.kind is WireKind.ROUND:
+            return self.round
+        return self.round - 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"<{self.kind.value}, {self.round}, {self.payload!r}>"
+
+
+def round_message(round: Round, payload: Any) -> WireMessage:
+    """Build a ``<ROUND, round, payload>`` message."""
+    return WireMessage(kind=WireKind.ROUND, round=round, payload=payload)
+
+
+def init_message(round: Round, payload: Any) -> WireMessage:
+    """Build an ``<INIT, round, payload>`` message announcing entry into *round*."""
+    return WireMessage(kind=WireKind.INIT, round=round, payload=payload)
+
+
+__all__ = ["WireKind", "WireMessage", "round_message", "init_message"]

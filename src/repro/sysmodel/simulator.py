@@ -1,0 +1,346 @@
+"""The step-level discrete-event simulator of the system model (Section 4.1).
+
+The simulator orchestrates:
+
+* process steps -- each up process executes its next send or receive step at
+  times governed by the synchrony assumptions (``pi0-sync`` in good periods,
+  a configurable arbitrary behaviour in bad periods);
+* make-ready steps of the network (``network_p -> buffer_p``), planned by
+  :class:`repro.sysmodel.network.Network` with the ``delta`` bound in good
+  periods and the bad-period policy otherwise;
+* good/bad period boundaries (recovering the pi0 processes, forcing down the
+  others for ``pi0-down`` periods, purging their in-transit messages);
+* injected crash / recovery fault events.
+
+Everything is deterministic for a fixed seed; no wall-clock time, threads or
+asyncio are involved, so worst-case schedules can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.types import ProcessId
+from .faults import BadPeriodProcessBehavior, FaultEvent, FaultKind, FaultSchedule
+from .network import BadPeriodNetwork, Envelope, Network
+from .params import SynchronyParams
+from .periods import GoodPeriod, GoodPeriodKind, PeriodSchedule
+from .process import (
+    ProcessRuntime,
+    ReceiveStep,
+    SendStep,
+    StepProgram,
+    StepResult,
+)
+from .trace import SystemRunTrace
+
+
+@dataclass(frozen=True)
+class _Event:
+    """An entry of the event queue (ordered by time, then insertion order)."""
+
+    time: float
+    sequence: int
+    kind: str
+    process: Optional[ProcessId] = None
+    generation: int = 0
+    envelope: Optional[Envelope] = None
+    period: Optional[GoodPeriod] = None
+    fault: Optional[FaultEvent] = None
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.sequence) < (other.time, other.sequence)
+
+
+class SystemSimulator:
+    """Deterministic discrete-event simulator for step-level process programs.
+
+    Parameters
+    ----------
+    programs:
+        One :class:`~repro.sysmodel.process.StepProgram` per process,
+        indexed by process id.
+    params:
+        The synchrony bounds ``(phi, delta)``.
+    schedule:
+        The good/bad period schedule.
+    fault_schedule:
+        Explicit crash/recovery events (applied only outside the synchronous
+        scope of good periods; events violating a good period are ignored
+        and counted in :attr:`skipped_fault_events`).
+    bad_process_behavior / bad_network:
+        Behaviour of processes and links not covered by ``pi0-sync``.
+    good_step_gap:
+        Time between consecutive steps of a synchronous process, in
+        ``[1, phi]``.  The default ``phi`` reproduces the worst case assumed
+        by the analytic bounds.
+    good_delay_factor:
+        Fraction of ``delta`` used for synchronous transmissions (1.0 =
+        worst case).
+    seed:
+        Seed for all randomised choices (bad-period behaviour).
+    """
+
+    def __init__(
+        self,
+        programs: Sequence[StepProgram],
+        params: SynchronyParams,
+        schedule: PeriodSchedule,
+        fault_schedule: Optional[FaultSchedule] = None,
+        bad_process_behavior: Optional[BadPeriodProcessBehavior] = None,
+        bad_network: Optional[BadPeriodNetwork] = None,
+        good_step_gap: Optional[float] = None,
+        good_delay_factor: float = 1.0,
+        seed: int = 0,
+        trace: Optional[SystemRunTrace] = None,
+    ) -> None:
+        self.n = len(programs)
+        if self.n == 0:
+            raise ValueError("at least one process program is required")
+        if schedule.n != self.n:
+            raise ValueError(
+                f"period schedule is for {schedule.n} processes, got {self.n} programs"
+            )
+        self.params = params
+        self.schedule = schedule
+        self.fault_schedule = fault_schedule if fault_schedule is not None else FaultSchedule.none()
+        self.bad_process_behavior = (
+            bad_process_behavior if bad_process_behavior is not None else BadPeriodProcessBehavior()
+        )
+        self.good_step_gap = params.phi if good_step_gap is None else good_step_gap
+        if not 1.0 <= self.good_step_gap <= params.phi:
+            raise ValueError(
+                f"good_step_gap must be in [1, phi={params.phi}], got {self.good_step_gap}"
+            )
+        self.trace = trace if trace is not None else SystemRunTrace(n=self.n)
+        self._rng = random.Random(seed)
+        self.network = Network(
+            n=self.n,
+            params=params,
+            schedule=schedule,
+            bad_behavior=bad_network,
+            good_delay_factor=good_delay_factor,
+            seed=seed + 1,
+        )
+        self.runtimes: List[ProcessRuntime] = [ProcessRuntime(program) for program in programs]
+        self.now = 0.0
+        self.skipped_fault_events: List[FaultEvent] = []
+        self._sequence = itertools.count()
+        self._queue: List[_Event] = []
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # event-queue helpers
+    # ------------------------------------------------------------------ #
+
+    def _push(self, event: _Event) -> None:
+        heapq.heappush(self._queue, event)
+
+    def _schedule_step(self, process: ProcessId, time: float) -> None:
+        runtime = self.runtimes[process]
+        self._push(
+            _Event(
+                time=time,
+                sequence=next(self._sequence),
+                kind="step",
+                process=process,
+                generation=runtime.schedule_generation,
+            )
+        )
+
+    def _schedule_make_ready(self, envelope: Envelope, time: float) -> None:
+        self._push(
+            _Event(
+                time=time,
+                sequence=next(self._sequence),
+                kind="make_ready",
+                envelope=envelope,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # start-up
+    # ------------------------------------------------------------------ #
+
+    def _start(self) -> None:
+        self._started = True
+        for runtime in self.runtimes:
+            runtime.boot()
+        for process in range(self.n):
+            first_gap = self._step_gap(process, 0.0)
+            if first_gap is not None:
+                self._schedule_step(process, first_gap)
+        for period in self.schedule.good_periods:
+            self._push(
+                _Event(
+                    time=period.start,
+                    sequence=next(self._sequence),
+                    kind="period_start",
+                    period=period,
+                )
+            )
+        for fault in self.fault_schedule.events:
+            self._push(
+                _Event(
+                    time=fault.time,
+                    sequence=next(self._sequence),
+                    kind="fault",
+                    fault=fault,
+                )
+            )
+
+    # ------------------------------------------------------------------ #
+    # step scheduling policy
+    # ------------------------------------------------------------------ #
+
+    def _step_gap(self, process: ProcessId, time: float) -> Optional[float]:
+        """The time until the next step of *process*, or ``None`` to not schedule one."""
+        if self.schedule.is_down(process, time):
+            return None
+        if self.schedule.is_synchronous(process, time):
+            return self.good_step_gap
+        behavior = self.bad_process_behavior
+        return self._rng.uniform(behavior.min_step_gap, behavior.max_step_gap)
+
+    def _stalls(self, process: ProcessId, time: float) -> bool:
+        """Whether a bad-period process skips the step it was about to take."""
+        if self.schedule.is_synchronous(process, time):
+            return False
+        return self._rng.random() < self.bad_period_stall_probability
+
+    @property
+    def bad_period_stall_probability(self) -> float:
+        return self.bad_process_behavior.stall_probability
+
+    # ------------------------------------------------------------------ #
+    # event handlers
+    # ------------------------------------------------------------------ #
+
+    def _handle_step(self, event: _Event) -> None:
+        process = event.process
+        assert process is not None
+        runtime = self.runtimes[process]
+        if not runtime.up or event.generation != runtime.schedule_generation:
+            return
+        if self.schedule.is_down(process, self.now):
+            # Down processes take no steps; they will be rescheduled when they recover.
+            return
+
+        if not self._stalls(process, self.now):
+            self._execute_step(process, runtime)
+
+        gap = self._step_gap(process, self.now)
+        if gap is not None and runtime.up:
+            self._schedule_step(process, self.now + gap)
+
+    def _execute_step(self, process: ProcessId, runtime: ProcessRuntime) -> None:
+        action = runtime.next_action()
+        if action is None:
+            return
+        if isinstance(action, SendStep):
+            receivers = list(range(self.n)) if action.to is None else [action.to]
+            envelopes = self.network.send(process, receivers, action.payload, self.now)
+            self.trace.messages_sent += len(envelopes)
+            for envelope in envelopes:
+                ready_time = self.network.plan_delivery(envelope)
+                if ready_time is None:
+                    self.trace.messages_dropped += 1
+                else:
+                    self._schedule_make_ready(envelope, max(ready_time, self.now))
+            self.trace.total_send_steps += 1
+            runtime.complete_step(StepResult(time=self.now))
+        elif isinstance(action, ReceiveStep):
+            buffered = self.network.buffered(process)
+            envelope = runtime.program.select_message(buffered) if buffered else None
+            if envelope is not None:
+                self.network.take_from_buffer(process, envelope)
+            self.trace.total_receive_steps += 1
+            runtime.complete_step(StepResult(time=self.now, envelope=envelope))
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unknown step action {action!r}")
+
+    def _handle_make_ready(self, event: _Event) -> None:
+        assert event.envelope is not None
+        self.network.make_ready(event.envelope)
+
+    def _handle_period_start(self, event: _Event) -> None:
+        period = event.period
+        assert period is not None
+        if period.kind in (GoodPeriodKind.PI0_DOWN, GoodPeriodKind.PI_GOOD):
+            outside = [p for p in range(self.n) if p not in period.pi0]
+            for process in outside:
+                runtime = self.runtimes[process]
+                if runtime.up:
+                    runtime.crash()
+                    self.trace.crashes += 1
+                    self.network.purge_process_state(process)
+            if outside:
+                self.network.purge_messages_from(outside)
+        for process in sorted(period.pi0):
+            runtime = self.runtimes[process]
+            if not runtime.up:
+                runtime.recover()
+                self.trace.recoveries += 1
+            else:
+                runtime.schedule_generation += 1
+            self._schedule_step(process, self.now + self.good_step_gap)
+
+    def _handle_fault(self, event: _Event) -> None:
+        fault = event.fault
+        assert fault is not None
+        if self.schedule.is_synchronous(fault.process, self.now):
+            # Good periods forbid faults on pi0 processes; record and skip.
+            self.skipped_fault_events.append(fault)
+            return
+        runtime = self.runtimes[fault.process]
+        if fault.kind is FaultKind.CRASH:
+            if runtime.up:
+                runtime.crash()
+                self.trace.crashes += 1
+                self.network.purge_process_state(fault.process)
+        elif fault.kind is FaultKind.RECOVER:
+            if not runtime.up:
+                runtime.recover()
+                self.trace.recoveries += 1
+                gap = self._step_gap(fault.process, self.now)
+                if gap is not None:
+                    self._schedule_step(fault.process, self.now + gap)
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
+
+    def run(self, until: float) -> SystemRunTrace:
+        """Run the simulation until simulated time *until*; returns the trace."""
+        if until < self.now:
+            raise ValueError(f"cannot run backwards: now={self.now}, until={until}")
+        if not self._started:
+            self._start()
+        while self._queue and self._queue[0].time <= until:
+            event = heapq.heappop(self._queue)
+            self.now = event.time
+            if event.kind == "step":
+                self._handle_step(event)
+            elif event.kind == "make_ready":
+                self._handle_make_ready(event)
+            elif event.kind == "period_start":
+                self._handle_period_start(event)
+            elif event.kind == "fault":
+                self._handle_fault(event)
+            else:  # pragma: no cover - defensive
+                raise ValueError(f"unknown event kind {event.kind!r}")
+        self.now = until
+        self._finalise_trace()
+        return self.trace
+
+    def _finalise_trace(self) -> None:
+        self.trace.messages_dropped = self.network.messages_dropped
+        # messages_sent is incremented live (per envelope); step totals likewise.
+
+
+__all__ = ["SystemSimulator"]

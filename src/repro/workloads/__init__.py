@@ -1,0 +1,41 @@
+"""Workloads: scenario generators and the measurement harness behind the benchmarks."""
+
+from .measure import (
+    DEFAULT_BAD_BEHAVIOR,
+    DEFAULT_BAD_NETWORK,
+    Measurement,
+    measure_arbitrary_p2otr,
+    measure_corollary4,
+    measure_ratio_noninitial_vs_initial,
+    measure_theorem3,
+    measure_theorem5,
+    measure_theorem6,
+    measure_theorem7,
+)
+from .scenarios import (
+    FAULT_MODELS,
+    ScenarioResult,
+    compare_stacks,
+    run_aguilera,
+    run_chandra_toueg,
+    run_ho_stack,
+)
+
+__all__ = [
+    "Measurement",
+    "DEFAULT_BAD_NETWORK",
+    "DEFAULT_BAD_BEHAVIOR",
+    "measure_theorem3",
+    "measure_theorem5",
+    "measure_corollary4",
+    "measure_ratio_noninitial_vs_initial",
+    "measure_theorem6",
+    "measure_theorem7",
+    "measure_arbitrary_p2otr",
+    "FAULT_MODELS",
+    "ScenarioResult",
+    "run_ho_stack",
+    "run_chandra_toueg",
+    "run_aguilera",
+    "compare_stacks",
+]

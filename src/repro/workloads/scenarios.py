@@ -1,0 +1,324 @@
+"""End-to-end consensus scenarios used by the comparison benchmarks (E7-E9).
+
+Three stacks are compared under identical fault models:
+
+* the HO stack: OneThirdRule over Algorithm 2 (or Algorithm 4 over 3) on the
+  step-level system model;
+* the Chandra-Toueg ◇S baseline (crash-stop, reliable links) on the DES;
+* the Aguilera et al. ◇Su baseline (crash-recovery, lossy links) on the DES.
+
+The fault models are named after the Section 2.2 taxonomy scenarios they
+instantiate: ``fault-free``, ``crash-stop`` (SP), ``crash-recovery`` (ST/DT)
+and ``lossy`` (DT transmission faults without process crashes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..algorithms import OneThirdRule
+from ..analysis.consensus_check import ConsensusVerdict, check_consensus
+from ..analysis.metrics import RunMetrics, metrics_from_des, metrics_from_system_trace
+from ..analysis.taxonomy import FaultClass, FaultConfiguration, classify
+from ..des import ChannelConfig, EventSimulator
+from ..failure_detectors import (
+    EventuallyStrongDetector,
+    EventuallyStrongRecoveryDetector,
+    build_aguilera_processes,
+    build_chandra_toueg_processes,
+)
+from ..predimpl import build_down_stack
+from ..sysmodel import (
+    BadPeriodNetwork,
+    BadPeriodProcessBehavior,
+    FaultSchedule,
+    GoodPeriodKind,
+    PeriodSchedule,
+    SynchronyParams,
+    SystemSimulator,
+)
+
+#: Fault-model identifiers shared by every runner in this module.
+FAULT_MODELS = ("fault-free", "crash-stop", "crash-recovery", "lossy")
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one consensus scenario run."""
+
+    stack: str
+    fault_model: str
+    n: int
+    seed: int
+    verdict: ConsensusVerdict
+    metrics: RunMetrics
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def solved(self) -> bool:
+        return self.verdict.solved
+
+    @property
+    def safe(self) -> bool:
+        return self.verdict.safe
+
+    def row(self) -> str:
+        """A fixed-width text row for benchmark reports."""
+        latency = (
+            "   -  "
+            if self.metrics.last_decision_time is None
+            else f"{self.metrics.last_decision_time:6.1f}"
+        )
+        return (
+            f"{self.stack:<16} {self.fault_model:<15} n={self.n:<3} seed={self.seed:<3} "
+            f"safe={'yes' if self.safe else 'NO '} "
+            f"terminated={'yes' if self.verdict.termination else 'no '} "
+            f"latency={latency} messages={self.metrics.messages_sent}"
+        )
+
+
+def _initial_values(n: int) -> List[int]:
+    return [10 * (p + 1) for p in range(n)]
+
+
+def _scope_for(fault_model: str, n: int) -> frozenset:
+    """Processes required to decide: crashed-forever processes are excluded."""
+    if fault_model == "crash-stop":
+        return frozenset(range(n)) - {n - 1}
+    return frozenset(range(n))
+
+
+# --------------------------------------------------------------------------- #
+# the HO stack on the step-level system model
+# --------------------------------------------------------------------------- #
+
+
+def run_ho_stack(
+    fault_model: str,
+    n: int = 4,
+    phi: float = 1.0,
+    delta: float = 2.0,
+    seed: int = 0,
+    bad_period_length: float = 80.0,
+    good_period_length: float = 400.0,
+) -> ScenarioResult:
+    """Run OneThirdRule over Algorithm 2 under the given fault model.
+
+    The same algorithm and the same predicate implementation are used for
+    every fault model; only the fault schedule differs -- this is the
+    Section 3.3 claim made executable.
+    """
+    if fault_model not in FAULT_MODELS:
+        raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
+    params = SynchronyParams(phi=phi, delta=delta)
+    values = _initial_values(n)
+    stack = build_down_stack(OneThirdRule(n), values, params)
+
+    faults = FaultSchedule.none()
+    lossy = False
+    if fault_model == "fault-free":
+        schedule = PeriodSchedule.always_good(n, GoodPeriodKind.PI_GOOD)
+    elif fault_model == "crash-stop":
+        # The last process crashes for good during the bad period; the good
+        # period is pi0-down for the surviving processes.
+        pi0 = frozenset(range(n - 1))
+        faults = FaultSchedule.crash_stop([(n - 1, bad_period_length / 4)])
+        schedule = PeriodSchedule.single_good_period(
+            n, start=bad_period_length, length=good_period_length,
+            kind=GoodPeriodKind.PI0_DOWN, pi0=pi0,
+        )
+        lossy = True
+    elif fault_model == "crash-recovery":
+        # Every process crashes and recovers at least once during the bad period.
+        incidents = [
+            (p, bad_period_length * (0.1 + 0.15 * p), bad_period_length * (0.3 + 0.15 * p))
+            for p in range(n)
+        ]
+        faults = FaultSchedule.crash_recovery(incidents)
+        schedule = PeriodSchedule.single_good_period(
+            n, start=bad_period_length, length=good_period_length,
+            kind=GoodPeriodKind.PI0_DOWN,
+        )
+        lossy = True
+    else:  # "lossy": no crashes, only message loss before the good period
+        schedule = PeriodSchedule.single_good_period(
+            n, start=bad_period_length, length=good_period_length,
+            kind=GoodPeriodKind.PI0_DOWN,
+        )
+        lossy = True
+
+    simulator = SystemSimulator(
+        stack.programs,
+        params,
+        schedule,
+        seed=seed,
+        trace=stack.trace,
+        fault_schedule=faults,
+        bad_network=BadPeriodNetwork(loss_probability=0.5 if lossy else 0.0,
+                                     min_delay=1.0, max_delay=30.0),
+        bad_process_behavior=BadPeriodProcessBehavior(
+            min_step_gap=1.0, max_step_gap=5.0, stall_probability=0.2
+        ),
+    )
+    trace = simulator.run(until=bad_period_length + good_period_length)
+    scope = _scope_for(fault_model, n)
+    verdict = check_consensus(trace, values, scope=scope)
+    configuration = FaultConfiguration(n=n, schedule=faults, lossy_links=lossy)
+    return ScenarioResult(
+        stack="ho-stack",
+        fault_model=fault_model,
+        n=n,
+        seed=seed,
+        verdict=verdict,
+        metrics=metrics_from_system_trace(trace, scope=scope),
+        extra={"fault_class": classify(configuration).value},
+    )
+
+
+# --------------------------------------------------------------------------- #
+# failure-detector baselines on the DES
+# --------------------------------------------------------------------------- #
+
+
+def _des_fault_schedule(fault_model: str, n: int) -> Dict[str, Dict[int, float]]:
+    if fault_model == "crash-stop":
+        return {"crash_times": {n - 1: 5.0}, "recovery_times": {}}
+    if fault_model == "crash-recovery":
+        crash_times = {p: 3.0 + 2.0 * p for p in range(n)}
+        recovery_times = {p: 20.0 + 2.0 * p for p in range(n)}
+        return {"crash_times": crash_times, "recovery_times": recovery_times}
+    return {"crash_times": {}, "recovery_times": {}}
+
+
+def run_chandra_toueg(
+    fault_model: str,
+    n: int = 4,
+    seed: int = 0,
+    stabilization_time: float = 30.0,
+    horizon: float = 400.0,
+) -> ScenarioResult:
+    """Run the Chandra-Toueg ◇S baseline under the given fault model.
+
+    The algorithm assumes reliable links and crash-stop faults; running it
+    under ``lossy`` or ``crash-recovery`` exercises exactly the limitation
+    the paper describes (it may block forever, which shows up as a
+    termination failure -- never as a safety violation).
+    """
+    if fault_model not in FAULT_MODELS:
+        raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
+    values = _initial_values(n)
+    processes = build_chandra_toueg_processes(n, values)
+    faults = _des_fault_schedule(fault_model, n)
+    channel = ChannelConfig(
+        loss_probability=0.3 if fault_model in ("lossy", "crash-recovery") else 0.0
+    )
+    simulator = EventSimulator(
+        processes,
+        channel=channel,
+        crash_times=faults["crash_times"],
+        recovery_times=faults["recovery_times"],
+        seed=seed,
+    )
+    simulator.register_failure_detector(
+        "default", EventuallyStrongDetector(stabilization_time=stabilization_time, seed=seed + 1)
+    )
+    scope = _scope_for(fault_model, n)
+    simulator.run_until_all_decided(until=horizon, scope=scope)
+    verdict = check_consensus_des(simulator, values, scope)
+    return ScenarioResult(
+        stack="chandra-toueg",
+        fault_model=fault_model,
+        n=n,
+        seed=seed,
+        verdict=verdict,
+        metrics=metrics_from_des(simulator, scope=scope),
+    )
+
+
+def run_aguilera(
+    fault_model: str,
+    n: int = 4,
+    seed: int = 0,
+    stabilization_time: float = 40.0,
+    horizon: float = 600.0,
+) -> ScenarioResult:
+    """Run the Aguilera et al. ◇Su baseline under the given fault model."""
+    if fault_model not in FAULT_MODELS:
+        raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
+    values = _initial_values(n)
+    processes = build_aguilera_processes(n, values)
+    faults = _des_fault_schedule(fault_model, n)
+    channel = ChannelConfig(
+        loss_probability=0.3 if fault_model in ("lossy", "crash-recovery") else 0.0
+    )
+    simulator = EventSimulator(
+        processes,
+        channel=channel,
+        crash_times=faults["crash_times"],
+        recovery_times=faults["recovery_times"],
+        seed=seed,
+    )
+    simulator.register_failure_detector(
+        "default",
+        EventuallyStrongRecoveryDetector(stabilization_time=stabilization_time, seed=seed + 1),
+    )
+    scope = _scope_for(fault_model, n)
+    simulator.run_until_all_decided(until=horizon, scope=scope)
+    verdict = check_consensus_des(simulator, values, scope)
+    return ScenarioResult(
+        stack="aguilera",
+        fault_model=fault_model,
+        n=n,
+        seed=seed,
+        verdict=verdict,
+        metrics=metrics_from_des(simulator, scope=scope),
+    )
+
+
+def check_consensus_des(simulator: EventSimulator, values: Sequence[Any], scope) -> ConsensusVerdict:
+    """Consensus check adapted to the DES decision records."""
+    decisions = simulator.decision_values()
+    violations = []
+    integrity = all(value in set(values) for value in decisions.values())
+    if not integrity:
+        violations.append("a decision value is not an initial value")
+    agreement = len(set(decisions.values())) <= 1
+    if not agreement:
+        violations.append("processes decided differently")
+    missing = set(scope) - set(decisions)
+    termination = not missing
+    if missing:
+        violations.append(f"processes {sorted(missing)} never decided")
+    return ConsensusVerdict(
+        integrity=integrity,
+        agreement=agreement,
+        termination=termination,
+        decisions=decisions,
+        violations=tuple(violations),
+    )
+
+
+def compare_stacks(
+    fault_models: Sequence[str] = FAULT_MODELS,
+    n: int = 4,
+    seed: int = 0,
+) -> List[ScenarioResult]:
+    """Run every stack under every fault model (the E8 comparison matrix)."""
+    results: List[ScenarioResult] = []
+    for fault_model in fault_models:
+        results.append(run_ho_stack(fault_model, n=n, seed=seed))
+        results.append(run_chandra_toueg(fault_model, n=n, seed=seed))
+        results.append(run_aguilera(fault_model, n=n, seed=seed))
+    return results
+
+
+__all__ = [
+    "FAULT_MODELS",
+    "ScenarioResult",
+    "run_ho_stack",
+    "run_chandra_toueg",
+    "run_aguilera",
+    "compare_stacks",
+    "check_consensus_des",
+]

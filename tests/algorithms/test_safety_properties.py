@@ -1,0 +1,118 @@
+"""Property-based tests: consensus safety under arbitrary heard-of collections.
+
+Theorem 1's proof observes that Algorithm 1 "never violates the safety
+properties of consensus", whatever the environment does.  These tests let
+Hypothesis play the adversary: it generates arbitrary HO collections (any
+subset for any process in any round) and checks integrity and agreement of
+OneThirdRule and LastVoting on every generated run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import LastVoting, OneThirdRule, UniformVoting
+from repro.core.machine import HOMachine
+
+
+def ho_schedule(n_rounds: int, n: int):
+    """Strategy: a full HO schedule, i.e. one HO set per (round, process)."""
+    subset = st.frozensets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    return st.lists(
+        st.lists(subset, min_size=n, max_size=n),
+        min_size=n_rounds,
+        max_size=n_rounds,
+    )
+
+
+def oracle_from_schedule(schedule: List[List[frozenset]]):
+    def oracle(round: int, process: int):
+        if round - 1 < len(schedule):
+            return schedule[round - 1][process]
+        return frozenset()
+
+    return oracle
+
+
+def check_safety(algorithm_factory, n: int, schedule, initial_values) -> None:
+    algorithm = algorithm_factory(n)
+    machine = HOMachine(algorithm, oracle_from_schedule(schedule), initial_values)
+    machine.run(len(schedule))
+    decisions = machine.decisions()
+    # Agreement: no two processes decide differently.
+    assert len(set(decisions.values())) <= 1
+    # Integrity: any decision is the initial value of some process.
+    for value in decisions.values():
+        assert value in initial_values
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    schedule=ho_schedule(n_rounds=6, n=4),
+    initial_values=st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=4),
+)
+def test_one_third_rule_safety_under_arbitrary_collections(schedule, initial_values):
+    check_safety(OneThirdRule, 4, schedule, initial_values)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    schedule=ho_schedule(n_rounds=5, n=5),
+    initial_values=st.lists(st.integers(min_value=0, max_value=4), min_size=5, max_size=5),
+)
+def test_one_third_rule_safety_five_processes(schedule, initial_values):
+    check_safety(OneThirdRule, 5, schedule, initial_values)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    schedule=ho_schedule(n_rounds=12, n=4),
+    initial_values=st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=4),
+)
+def test_last_voting_safety_under_arbitrary_collections(schedule, initial_values):
+    check_safety(LastVoting, 4, schedule, initial_values)
+
+
+def kernel_schedule(n_rounds: int, n: int, kernel_member: int = 0):
+    """Strategy: HO schedules in which *kernel_member* is always heard of."""
+    subset = st.frozensets(st.integers(min_value=0, max_value=n - 1), max_size=n).map(
+        lambda s: s | {kernel_member}
+    )
+    return st.lists(
+        st.lists(subset, min_size=n, max_size=n),
+        min_size=n_rounds,
+        max_size=n_rounds,
+    )
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    schedule=kernel_schedule(n_rounds=8, n=4),
+    initial_values=st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=4),
+)
+def test_uniform_voting_safety_with_nonempty_kernels(schedule, initial_values):
+    """UniformVoting is safe whenever every round has a non-empty kernel."""
+    check_safety(UniformVoting, 4, schedule, initial_values)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    prefix=ho_schedule(n_rounds=4, n=4),
+    initial_values=st.lists(st.integers(min_value=0, max_value=9), min_size=4, max_size=4),
+)
+def test_one_third_rule_terminates_once_environment_becomes_good(prefix, initial_values):
+    """Liveness: after any adversarial prefix, appending a P_otr suffix makes everyone decide."""
+    n = 4
+    full = frozenset(range(n))
+    suffix = [[full] * n, [full] * n]
+    schedule = prefix + suffix
+    machine = HOMachine(OneThirdRule(n), oracle_from_schedule(schedule), initial_values)
+    machine.run(len(schedule))
+    decisions = machine.decisions()
+    assert len(decisions) == n
+    assert len(set(decisions.values())) == 1
+    for value in decisions.values():
+        assert value in initial_values

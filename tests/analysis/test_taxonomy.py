@@ -1,0 +1,80 @@
+"""Unit tests for the SP/ST/DP/DT fault taxonomy (Section 2.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.taxonomy import (
+    APPLICABILITY,
+    FaultClass,
+    FaultConfiguration,
+    classify,
+    communication_predicates_applicable,
+    failure_detectors_applicable,
+)
+from repro.sysmodel.faults import FaultSchedule
+
+
+def config(n=4, schedule=None, lossy=False, omissions=()):
+    return FaultConfiguration(
+        n=n,
+        schedule=schedule if schedule is not None else FaultSchedule.none(),
+        lossy_links=lossy,
+        omission_processes=frozenset(omissions),
+    )
+
+
+class TestClassification:
+    def test_fault_free(self):
+        assert classify(config()) is FaultClass.NONE
+
+    def test_crash_stop_is_sp(self):
+        schedule = FaultSchedule.crash_stop([(0, 1.0), (1, 5.0)])
+        assert classify(config(schedule=schedule)) is FaultClass.SP
+
+    def test_crash_stop_of_everyone_is_dp(self):
+        schedule = FaultSchedule.crash_stop([(p, 1.0) for p in range(4)])
+        assert classify(config(schedule=schedule)) is FaultClass.DP
+
+    def test_crash_recovery_of_a_subset_is_st(self):
+        schedule = FaultSchedule.crash_recovery([(0, 1.0, 5.0)])
+        assert classify(config(schedule=schedule)) is FaultClass.ST
+
+    def test_crash_recovery_of_everyone_is_dt(self):
+        schedule = FaultSchedule.crash_recovery([(p, 1.0, 5.0) for p in range(4)])
+        assert classify(config(schedule=schedule)) is FaultClass.DT
+
+    def test_omissions_on_a_subset_are_st(self):
+        assert classify(config(omissions=[2])) is FaultClass.ST
+
+    def test_link_loss_is_dt(self):
+        """A transmission fault can hit any process: dynamic and transient."""
+        assert classify(config(lossy=True)) is FaultClass.DT
+
+    def test_crashes_plus_link_loss_are_dt(self):
+        schedule = FaultSchedule.crash_stop([(0, 1.0)])
+        assert classify(config(schedule=schedule, lossy=True)) is FaultClass.DT
+
+    def test_crashed_and_recovering_helpers(self):
+        schedule = FaultSchedule.crash_recovery([(1, 1.0, 2.0)]).merged_with(
+            FaultSchedule.crash_stop([(3, 4.0)])
+        )
+        configuration = config(schedule=schedule)
+        assert configuration.crashed_processes() == frozenset({1, 3})
+        assert configuration.recovering_processes() == frozenset({1})
+
+
+class TestApplicability:
+    def test_failure_detectors_cover_only_sp(self):
+        assert failure_detectors_applicable(FaultClass.NONE)
+        assert failure_detectors_applicable(FaultClass.SP)
+        assert not failure_detectors_applicable(FaultClass.ST)
+        assert not failure_detectors_applicable(FaultClass.DP)
+        assert not failure_detectors_applicable(FaultClass.DT)
+
+    def test_communication_predicates_cover_every_class(self):
+        for fault_class in FaultClass:
+            assert communication_predicates_applicable(fault_class)
+
+    def test_matrix_is_total(self):
+        assert set(APPLICABILITY) == set(FaultClass)

@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Sequence
+
+import pytest
+
+from repro.core.types import HOCollection
+
+
+def make_collection(n: int, rounds: Sequence[Mapping[int, Iterable[int]]]) -> HOCollection:
+    """Build an :class:`HOCollection` from a list of per-round HO-set mappings.
+
+    ``rounds[k]`` describes round ``k+1``: a mapping ``process -> HO set``.
+    Processes missing from a round's mapping get the full process set.
+    """
+    collection = HOCollection(n)
+    for index, ho_sets in enumerate(rounds):
+        round_number = index + 1
+        for process in range(n):
+            ho = ho_sets.get(process, range(n))
+            collection.record(process, round_number, ho)
+    return collection
+
+
+def uniform_round(n: int, ho: Iterable[int]) -> Dict[int, Iterable[int]]:
+    """A per-round mapping where every process has the same HO set."""
+    ho_list = list(ho)
+    return {process: ho_list for process in range(n)}
+
+
+@pytest.fixture
+def small_n() -> int:
+    """A conveniently small system size used across unit tests."""
+    return 4

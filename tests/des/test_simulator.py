@@ -1,0 +1,182 @@
+"""Unit tests for the event-driven asynchronous simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import ChannelConfig, DESProcess, EventSimulator
+
+
+class EchoProcess(DESProcess):
+    """Test process: broadcasts one hello, echoes everything it receives once."""
+
+    def __init__(self, process_id, n):
+        super().__init__(process_id, n)
+        self.received = []
+        self.timers_fired = []
+        self.recovered = 0
+
+    def on_start(self, ctx):
+        ctx.broadcast(("hello", self.process_id), include_self=False)
+        ctx.set_timer(5.0, "tick")
+
+    def on_message(self, ctx, sender, payload):
+        self.received.append((sender, payload, ctx.now))
+        if payload[0] == "hello":
+            ctx.send(sender, ("echo", self.process_id))
+
+    def on_timer(self, ctx, name):
+        self.timers_fired.append((name, ctx.now))
+
+    def on_recover(self, ctx):
+        self.recovered += 1
+        ctx.stable_store("recovered", self.recovered)
+
+
+class DeciderProcess(DESProcess):
+    """Decides its own id as soon as it starts (for decision bookkeeping tests)."""
+
+    def on_start(self, ctx):
+        ctx.decide(self.process_id)
+        ctx.decide(self.process_id + 100)  # ignored: only the first decision counts
+
+
+class TestChannelConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ChannelConfig(min_delay=-1.0)
+        with pytest.raises(ValueError):
+            ChannelConfig(min_delay=3.0, max_delay=1.0)
+        with pytest.raises(ValueError):
+            ChannelConfig(loss_probability=1.0)
+
+
+class TestBasicDelivery:
+    def test_messages_flow_and_are_counted(self):
+        processes = [EchoProcess(p, 3) for p in range(3)]
+        simulator = EventSimulator(processes, seed=1)
+        simulator.run(until=100.0)
+        # Everyone got 2 hellos and 2 echoes.
+        for process in processes:
+            kinds = [payload[0] for _, payload, _ in process.received]
+            assert kinds.count("hello") == 2
+            assert kinds.count("echo") == 2
+        assert simulator.messages_sent == simulator.messages_delivered
+        assert simulator.messages_lost == 0
+
+    def test_delays_respect_channel_bounds(self):
+        processes = [EchoProcess(p, 2) for p in range(2)]
+        channel = ChannelConfig(min_delay=1.0, max_delay=3.0)
+        simulator = EventSimulator(processes, channel=channel, seed=2)
+        simulator.run(until=50.0)
+        for process in processes:
+            for _, payload, time in process.received:
+                if payload[0] == "hello":
+                    assert 1.0 <= time <= 3.0
+
+    def test_lossy_channel_drops_messages(self):
+        processes = [EchoProcess(p, 2) for p in range(2)]
+        channel = ChannelConfig(loss_probability=0.9)
+        simulator = EventSimulator(processes, channel=channel, seed=3)
+        simulator.run(until=50.0)
+        assert simulator.messages_lost > 0
+
+    def test_determinism(self):
+        def run(seed):
+            processes = [EchoProcess(p, 3) for p in range(3)]
+            simulator = EventSimulator(processes, seed=seed)
+            simulator.run(until=30.0)
+            return [process.received for process in processes]
+
+        assert run(7) == run(7)
+
+
+class TestTimers:
+    def test_timer_fires_once(self):
+        processes = [EchoProcess(0, 1)]
+        simulator = EventSimulator(processes, seed=1)
+        simulator.run(until=20.0)
+        assert processes[0].timers_fired == [("tick", 5.0)]
+
+    def test_cancelled_timer_does_not_fire(self):
+        class Canceller(DESProcess):
+            def __init__(self):
+                super().__init__(0, 1)
+                self.fired = []
+
+            def on_start(self, ctx):
+                timer_id = ctx.set_timer(5.0, "doomed")
+                ctx.set_timer(1.0, "keep")
+                self._doomed = timer_id
+
+            def on_timer(self, ctx, name):
+                self.fired.append(name)
+
+        process = Canceller()
+        simulator = EventSimulator([process], seed=1)
+        simulator._start()
+        simulator.cancel_timer(0, 1)  # the first timer id handed out is 1
+        simulator.run(until=20.0)
+        assert "doomed" not in process.fired
+        assert "keep" in process.fired
+
+    def test_negative_timer_rejected(self):
+        simulator = EventSimulator([EchoProcess(0, 1)])
+        with pytest.raises(ValueError):
+            simulator.post_timer(0, -1.0, "bad")
+
+
+class TestCrashRecovery:
+    def test_crashed_process_receives_nothing(self):
+        processes = [EchoProcess(p, 2) for p in range(2)]
+        simulator = EventSimulator(processes, crash_times={1: 0.0}, seed=1)
+        simulator.run(until=30.0)
+        assert processes[1].received == []
+        assert not simulator.is_up(1)
+
+    def test_recovery_invokes_handler_and_resumes_delivery(self):
+        processes = [EchoProcess(p, 2) for p in range(2)]
+        simulator = EventSimulator(
+            processes, crash_times={1: 1.0}, recovery_times={1: 10.0}, seed=1
+        )
+        simulator.run(until=30.0)
+        assert processes[1].recovered == 1
+        assert simulator.is_up(1)
+        assert simulator.stable_storage[1]["recovered"] == 1
+        assert simulator.crash_count[1] == 1
+
+    def test_recovery_without_crash_rejected(self):
+        with pytest.raises(ValueError):
+            EventSimulator([EchoProcess(0, 1)], recovery_times={0: 5.0})
+
+    def test_eventually_up_processes(self):
+        processes = [EchoProcess(p, 3) for p in range(3)]
+        simulator = EventSimulator(
+            processes,
+            crash_times={1: 5.0, 2: 5.0},
+            recovery_times={2: 10.0},
+            seed=1,
+        )
+        assert simulator.eventually_up_processes() == frozenset({0, 2})
+
+
+class TestDecisions:
+    def test_only_first_decision_is_recorded(self):
+        processes = [DeciderProcess(p, 2) for p in range(2)]
+        simulator = EventSimulator(processes, seed=1)
+        simulator.run(until=10.0)
+        assert simulator.decision_values() == {0: 0, 1: 1}
+        assert simulator.all_decided()
+
+    def test_run_until_all_decided_stops_early(self):
+        processes = [DeciderProcess(p, 2) for p in range(2)]
+        simulator = EventSimulator(processes, seed=1)
+        simulator.run_until_all_decided(until=1000.0)
+        assert simulator.now <= 1.0
+
+    def test_failure_detector_registry(self):
+        simulator = EventSimulator([EchoProcess(0, 1)])
+        with pytest.raises(KeyError):
+            simulator.query_failure_detector("default", 0)
+        simulator.register_failure_detector("default", lambda sim, p: frozenset())
+        assert simulator.query_failure_detector("default", 0) == frozenset()

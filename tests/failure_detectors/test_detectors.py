@@ -1,0 +1,95 @@
+"""Unit tests for the ◇S and ◇Su failure-detector oracles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.des import DESProcess, EventSimulator
+from repro.failure_detectors import (
+    EventuallyStrongDetector,
+    EventuallyStrongRecoveryDetector,
+)
+
+
+def make_simulator(n=4, crash_times=None, recovery_times=None):
+    processes = [DESProcess(p, n) for p in range(n)]
+    return EventSimulator(
+        processes, crash_times=crash_times or {}, recovery_times=recovery_times or {}, seed=0
+    )
+
+
+class TestEventuallyStrong:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventuallyStrongDetector(stabilization_time=-1.0)
+        with pytest.raises(ValueError):
+            EventuallyStrongDetector(false_suspicion_probability=2.0)
+
+    def test_after_stabilization_suspects_exactly_the_crashed(self):
+        simulator = make_simulator(crash_times={2: 0.0})
+        simulator.run(until=10.0)
+        detector = EventuallyStrongDetector(stabilization_time=5.0)
+        assert detector.query(simulator, 0) == frozenset({2})
+
+    def test_before_stabilization_crashed_processes_are_still_suspected(self):
+        """Strong completeness holds from the start; only accuracy is eventual."""
+        simulator = make_simulator(crash_times={1: 0.0})
+        simulator.run(until=2.0)
+        detector = EventuallyStrongDetector(
+            stabilization_time=100.0, false_suspicion_probability=0.5, seed=1
+        )
+        for querying_process in range(4):
+            assert 1 in detector.query(simulator, querying_process)
+
+    def test_before_stabilization_false_suspicions_happen(self):
+        simulator = make_simulator()
+        detector = EventuallyStrongDetector(
+            stabilization_time=100.0, false_suspicion_probability=1.0, seed=1
+        )
+        suspects = detector.query(simulator, 0)
+        assert suspects == frozenset({1, 2, 3})
+        # The querying process never suspects itself.
+        assert 0 not in suspects
+
+    def test_never_false_suspicions_when_probability_zero(self):
+        simulator = make_simulator()
+        detector = EventuallyStrongDetector(
+            stabilization_time=100.0, false_suspicion_probability=0.0
+        )
+        assert detector.query(simulator, 0) == frozenset()
+
+
+class TestEventuallyStrongRecovery:
+    def test_after_stabilization_trusts_exactly_the_good_up_processes(self):
+        simulator = make_simulator(
+            crash_times={1: 0.0, 2: 0.0}, recovery_times={2: 5.0}
+        )
+        simulator.run(until=20.0)
+        detector = EventuallyStrongRecoveryDetector(stabilization_time=10.0)
+        output = detector.query(simulator, 0)
+        # 1 crashed for good; 0, 2, 3 are good (2 recovered).
+        assert output.trustlist == frozenset({0, 2, 3})
+        assert output.trusts(0)
+        assert not output.trusts(1)
+
+    def test_epochs_count_crashes(self):
+        simulator = make_simulator(crash_times={2: 1.0}, recovery_times={2: 5.0})
+        simulator.run(until=20.0)
+        detector = EventuallyStrongRecoveryDetector(stabilization_time=0.0)
+        output = detector.query(simulator, 0)
+        assert output.epoch[2] == 1
+        assert output.epoch[0] == 0
+
+    def test_before_stabilization_output_is_noisy_but_self_trusting(self):
+        simulator = make_simulator()
+        detector = EventuallyStrongRecoveryDetector(
+            stabilization_time=100.0, mistrust_probability=0.9, seed=3
+        )
+        output = detector.query(simulator, 1)
+        assert output.trusts(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EventuallyStrongRecoveryDetector(stabilization_time=-1.0)
+        with pytest.raises(ValueError):
+            EventuallyStrongRecoveryDetector(mistrust_probability=1.5)

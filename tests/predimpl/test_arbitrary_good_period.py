@@ -1,0 +1,206 @@
+"""Behavioural tests for Algorithm 3 (P_k in "pi0-arbitrary" good periods)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import OneThirdRule
+from repro.predimpl import (
+    arbitrary_p2otr_length,
+    build_arbitrary_stack,
+    theorem6_good_period_length,
+    theorem7_initial_good_period_length,
+)
+from repro.predimpl.arbitrary_good_period import ArbitraryGoodPeriodProgram
+from repro.predimpl.wire import init_message, round_message
+from repro.sysmodel import (
+    BadPeriodNetwork,
+    BadPeriodProcessBehavior,
+    GoodPeriodKind,
+    PeriodSchedule,
+    SynchronyParams,
+    SystemRunTrace,
+    SystemSimulator,
+)
+from repro.sysmodel.network import Envelope
+
+
+PARAMS = SynchronyParams(phi=1.0, delta=2.0)
+
+
+def run_arbitrary_scenario(
+    n=4,
+    f=1,
+    values=None,
+    schedule=None,
+    until=400.0,
+    seed=0,
+    use_translation=False,
+    **simulator_kwargs,
+):
+    values = values if values is not None else list(range(10, 10 + n))
+    stack = build_arbitrary_stack(
+        OneThirdRule(n), f, values, PARAMS, use_translation=use_translation
+    )
+    if schedule is None:
+        pi0 = frozenset(range(n - f))
+        schedule = PeriodSchedule.always_good(n, GoodPeriodKind.PI0_ARBITRARY, pi0=pi0)
+    simulator = SystemSimulator(
+        stack.programs, PARAMS, schedule, seed=seed, trace=stack.trace, **simulator_kwargs
+    )
+    trace = simulator.run(until=until)
+    return trace, stack, simulator
+
+
+class TestConstruction:
+    def test_f_must_be_less_than_half(self):
+        with pytest.raises(ValueError):
+            ArbitraryGoodPeriodProgram(
+                0, 4, 2, OneThirdRule(4), 1, PARAMS, SystemRunTrace(n=4)
+            )
+
+    def test_timeout_is_algorithm3_timeout(self):
+        program = ArbitraryGoodPeriodProgram(
+            0, 4, 1, OneThirdRule(4), 1, PARAMS, SystemRunTrace(n=4)
+        )
+        assert program.timeout == PARAMS.algorithm3_timeout(4)
+
+
+class TestReceptionPolicy:
+    def test_round_robin_prefers_target_process(self):
+        program = ArbitraryGoodPeriodProgram(
+            0, 3, 1, OneThirdRule(3), 1, PARAMS, SystemRunTrace(n=3)
+        )
+        from_p0 = Envelope(0, 0, round_message(1, "a"), 0.0, sequence=0)
+        from_p1 = Envelope(1, 0, round_message(9, "b"), 0.0, sequence=1)
+        # policy counter 0 -> target process 0: its message wins despite the
+        # lower round number.
+        assert program.select_message([from_p0, from_p1]) is from_p0
+        program._policy_counter = 1
+        assert program.select_message([from_p0, from_p1]) is from_p1
+
+    def test_falls_back_to_highest_round_when_target_absent(self):
+        program = ArbitraryGoodPeriodProgram(
+            0, 3, 1, OneThirdRule(3), 1, PARAMS, SystemRunTrace(n=3)
+        )
+        program._policy_counter = 2  # target process 2, not present below
+        low = Envelope(1, 0, round_message(1, "low"), 0.0, sequence=0)
+        high = Envelope(1, 0, init_message(7, "high"), 0.0, sequence=1)
+        assert program.select_message([low, high]) is high
+
+
+class TestInitialGoodPeriod:
+    def test_pk_rounds_and_consensus(self):
+        n, f = 4, 1
+        pi0 = frozenset(range(n - f))
+        trace, _, _ = run_arbitrary_scenario(n=n, f=f)
+        assert trace.max_round() >= 3
+        window = trace.earliest_pk_window(pi0, 2)
+        assert window is not None
+        # pi0 processes decide the same value.
+        decisions = trace.decision_values()
+        assert pi0.issubset(decisions)
+        assert len({decisions[p] for p in pi0}) == 1
+
+    def test_theorem7_bound_in_initial_good_period(self):
+        for n, f in ((3, 1), (4, 1), (5, 2)):
+            pi0 = frozenset(range(n - f))
+            trace, _, _ = run_arbitrary_scenario(n=n, f=f, until=500.0)
+            for x in (1, 2):
+                window = trace.earliest_pk_window(
+                    pi0, x, last_round_by_reception=True
+                )
+                assert window is not None
+                assert window[1] <= theorem7_initial_good_period_length(x, n, 1.0, 2.0) + 1e-9
+
+
+class TestNonInitialGoodPeriod:
+    def test_theorem6_bound_after_a_bad_period(self):
+        n, f = 4, 1
+        pi0 = frozenset(range(n - f))
+        good_start = 120.0
+        for seed in range(3):
+            schedule = PeriodSchedule.single_good_period(
+                n, start=good_start, length=500.0, kind=GoodPeriodKind.PI0_ARBITRARY, pi0=pi0
+            )
+            trace, _, _ = run_arbitrary_scenario(
+                n=n,
+                f=f,
+                schedule=schedule,
+                until=good_start + 500.0,
+                seed=seed,
+                bad_network=BadPeriodNetwork(loss_probability=0.7, min_delay=1.0, max_delay=40.0),
+                bad_process_behavior=BadPeriodProcessBehavior(
+                    min_step_gap=1.0, max_step_gap=6.0, stall_probability=0.3
+                ),
+            )
+            for x in (1, 2):
+                window = trace.earliest_pk_window(
+                    pi0, x, not_before=good_start, last_round_by_reception=True
+                )
+                assert window is not None, f"no Pk window of length {x} (seed {seed})"
+                measured = window[1] - good_start
+                assert measured <= theorem6_good_period_length(x, n, 1.0, 2.0) + 1e-9
+
+    def test_outsiders_may_stay_arbitrary_and_do_not_block_pi0(self):
+        """The pi0-arbitrary definition: no constraint at all on processes outside pi0."""
+        n, f = 5, 2
+        pi0 = frozenset(range(n - f))
+        good_start = 60.0
+        schedule = PeriodSchedule.single_good_period(
+            n, start=good_start, length=600.0, kind=GoodPeriodKind.PI0_ARBITRARY, pi0=pi0
+        )
+        trace, _, _ = run_arbitrary_scenario(
+            n=n,
+            f=f,
+            schedule=schedule,
+            until=good_start + 600.0,
+            seed=5,
+            # Outsiders' links drop everything; outsiders stall most of the time.
+            bad_network=BadPeriodNetwork(loss_probability=0.9, min_delay=1.0, max_delay=50.0),
+            bad_process_behavior=BadPeriodProcessBehavior(
+                min_step_gap=2.0, max_step_gap=10.0, stall_probability=0.5
+            ),
+        )
+        window = trace.earliest_pk_window(pi0, 2, not_before=good_start)
+        assert window is not None
+        # Note: with |pi0| = 3 <= 2n/3 OneThirdRule cannot decide over raw
+        # P_k rounds (that needs the Algorithm 4 translation and a larger
+        # pi0); the point of this test is only that the outsiders do not
+        # prevent pi0 from running synchronised kernel rounds.
+        assert trace.max_round() >= window[0] + 1
+
+
+class TestWithTranslation:
+    def test_full_stack_reaches_consensus_within_the_p2otr_bound(self):
+        """OneThirdRule over Algorithm 4 over Algorithm 3, in an initial good period."""
+        n, f = 4, 1
+        pi0 = frozenset(range(n - f))
+        trace, stack, _ = run_arbitrary_scenario(
+            n=n, f=f, use_translation=True, until=600.0
+        )
+        decisions = trace.decision_values()
+        assert pi0.issubset(decisions)
+        assert len({decisions[p] for p in pi0}) == 1
+        decision_time = max(trace.decision_times()[p] for p in pi0)
+        assert decision_time <= arbitrary_p2otr_length(f, n, 1.0, 2.0) + 1e-9
+
+    def test_full_stack_after_bad_period(self):
+        n, f = 4, 1
+        pi0 = frozenset(range(n - f))
+        good_start = 100.0
+        schedule = PeriodSchedule.single_good_period(
+            n, start=good_start, length=800.0, kind=GoodPeriodKind.PI0_ARBITRARY, pi0=pi0
+        )
+        trace, _, _ = run_arbitrary_scenario(
+            n=n,
+            f=f,
+            use_translation=True,
+            schedule=schedule,
+            until=good_start + 800.0,
+            seed=9,
+            bad_network=BadPeriodNetwork(loss_probability=0.6, min_delay=1.0, max_delay=40.0),
+        )
+        decisions = trace.decision_values()
+        assert pi0.issubset(decisions)
+        assert len({decisions[p] for p in pi0}) == 1

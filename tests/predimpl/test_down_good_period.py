@@ -1,0 +1,199 @@
+"""Behavioural tests for Algorithm 2 (P_su in "pi0-down" good periods)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algorithms import OneThirdRule
+from repro.predimpl import (
+    build_down_stack,
+    corollary4_p2otr_length,
+    theorem3_good_period_length,
+    theorem5_initial_good_period_length,
+)
+from repro.predimpl.down_good_period import DownGoodPeriodProgram
+from repro.predimpl.wire import round_message
+from repro.sysmodel import (
+    BadPeriodNetwork,
+    BadPeriodProcessBehavior,
+    FaultSchedule,
+    GoodPeriodKind,
+    PeriodSchedule,
+    SynchronyParams,
+    SystemRunTrace,
+    SystemSimulator,
+)
+from repro.sysmodel.network import Envelope
+
+
+PARAMS = SynchronyParams(phi=1.0, delta=2.0)
+
+
+def run_down_scenario(
+    n=4,
+    values=None,
+    schedule=None,
+    until=200.0,
+    seed=0,
+    **simulator_kwargs,
+):
+    values = values if values is not None else list(range(10, 10 + n))
+    stack = build_down_stack(OneThirdRule(n), values, PARAMS)
+    schedule = schedule if schedule is not None else PeriodSchedule.always_good(n)
+    simulator = SystemSimulator(
+        stack.programs, PARAMS, schedule, seed=seed, trace=stack.trace, **simulator_kwargs
+    )
+    trace = simulator.run(until=until)
+    return trace, stack, simulator
+
+
+class TestReceptionPolicy:
+    def test_highest_round_number_first(self):
+        program = DownGoodPeriodProgram(
+            0, 3, OneThirdRule(3), 1, PARAMS, SystemRunTrace(n=3)
+        )
+        low = Envelope(1, 0, round_message(2, "low"), 0.0, sequence=0)
+        high = Envelope(2, 0, round_message(5, "high"), 0.0, sequence=1)
+        assert program.select_message([low, high]) is high
+        assert program.select_message([]) is None
+
+    def test_ties_broken_by_arrival_order(self):
+        program = DownGoodPeriodProgram(
+            0, 3, OneThirdRule(3), 1, PARAMS, SystemRunTrace(n=3)
+        )
+        first = Envelope(1, 0, round_message(4, "first"), 0.0, sequence=0)
+        second = Envelope(2, 0, round_message(4, "second"), 0.0, sequence=1)
+        assert program.select_message([second, first]) is first
+
+
+class TestInitialGoodPeriod:
+    def test_rounds_are_space_uniform_and_consensus_is_reached(self):
+        n = 4
+        trace, _, _ = run_down_scenario(n=n)
+        pi0 = frozenset(range(n))
+        assert trace.max_round() >= 3
+        window = trace.earliest_psu_window(pi0, 2)
+        assert window is not None
+        assert set(trace.decision_values()) == set(range(n))
+        assert len(set(trace.decision_values().values())) == 1
+
+    def test_initial_good_period_meets_theorem5_bound(self):
+        for n in (3, 4, 6):
+            trace, _, _ = run_down_scenario(n=n, until=300.0)
+            pi0 = frozenset(range(n))
+            for x in (1, 2, 3):
+                window = trace.earliest_psu_window(pi0, x)
+                assert window is not None
+                _, completion = window
+                assert completion <= theorem5_initial_good_period_length(x, n, 1.0, 2.0) + 1e-9
+
+    def test_decision_time_within_corollary4_bound_in_nice_runs(self):
+        """In a nice run, consensus completes within the P_2otr good-period bound."""
+        n = 4
+        trace, _, _ = run_down_scenario(n=n)
+        assert trace.last_decision_time(range(n)) is not None
+        assert trace.last_decision_time(range(n)) <= corollary4_p2otr_length(n, 1.0, 2.0)
+
+
+class TestNonInitialGoodPeriod:
+    def test_theorem3_bound_holds_after_a_bad_period(self):
+        n = 4
+        pi0 = frozenset(range(n))
+        good_start = 100.0
+        for seed in range(3):
+            schedule = PeriodSchedule.single_good_period(
+                n, start=good_start, length=300.0, kind=GoodPeriodKind.PI0_DOWN, pi0=pi0
+            )
+            trace, _, _ = run_down_scenario(
+                n=n,
+                schedule=schedule,
+                until=good_start + 300.0,
+                seed=seed,
+                bad_network=BadPeriodNetwork(loss_probability=0.6, min_delay=1.0, max_delay=40.0),
+                bad_process_behavior=BadPeriodProcessBehavior(
+                    min_step_gap=1.0, max_step_gap=6.0, stall_probability=0.2
+                ),
+            )
+            for x in (1, 2):
+                window = trace.earliest_psu_window(pi0, x, not_before=good_start)
+                assert window is not None, f"no Psu window of length {x} found (seed {seed})"
+                measured = window[1] - good_start
+                assert measured <= theorem3_good_period_length(x, n, 1.0, 2.0) + 1e-9
+
+    def test_down_period_with_strict_subset_pi0(self):
+        """Processes outside pi0 are down; pi0 still reaches P_su and decides.
+
+        Note ``|pi0| = 4 > 2n/3`` is required for OneThirdRule to decide
+        (Theorem 2 assumes ``|Pi0| > 2n/3``).
+        """
+        n, down = 5, 1
+        pi0 = frozenset(range(n - down))
+        good_start = 80.0
+        schedule = PeriodSchedule.single_good_period(
+            n, start=good_start, length=300.0, kind=GoodPeriodKind.PI0_DOWN, pi0=pi0
+        )
+        trace, _, simulator = run_down_scenario(
+            n=n,
+            schedule=schedule,
+            until=good_start + 300.0,
+            seed=7,
+            bad_network=BadPeriodNetwork(loss_probability=0.5, min_delay=1.0, max_delay=30.0),
+        )
+        window = trace.earliest_psu_window(pi0, 2, not_before=good_start)
+        assert window is not None
+        # The down processes crashed at the period start and never decide.
+        for process in range(n - down, n):
+            assert not simulator.runtimes[process].up
+        assert set(trace.decision_values()) >= pi0
+        decided_values = {trace.decision_values()[p] for p in pi0}
+        assert len(decided_values) == 1
+
+
+class TestCrashRecovery:
+    def test_crash_recovery_during_bad_period_does_not_prevent_consensus(self):
+        """Section 3.3: the same algorithm works unchanged in the crash-recovery model."""
+        n = 4
+        pi0 = frozenset(range(n))
+        good_start = 120.0
+        schedule = PeriodSchedule.single_good_period(
+            n, start=good_start, length=300.0, kind=GoodPeriodKind.PI0_DOWN, pi0=pi0
+        )
+        faults = FaultSchedule.crash_recovery(
+            [(0, 20.0, 60.0), (1, 30.0, 90.0), (2, 50.0, 70.0)]
+        )
+        trace, _, simulator = run_down_scenario(
+            n=n,
+            schedule=schedule,
+            until=good_start + 300.0,
+            seed=11,
+            fault_schedule=faults,
+            bad_network=BadPeriodNetwork(loss_probability=0.5, min_delay=1.0, max_delay=30.0),
+        )
+        assert trace.crashes >= 3
+        assert trace.recoveries >= 3
+        assert set(trace.decision_values()) == pi0
+        assert len(set(trace.decision_values().values())) == 1
+
+    def test_round_and_state_survive_crashes_via_stable_storage(self):
+        n = 3
+        values = [1, 2, 3]
+        stack = build_down_stack(OneThirdRule(n), values, PARAMS)
+        schedule = PeriodSchedule.single_good_period(
+            n, start=60.0, length=200.0, kind=GoodPeriodKind.PI0_DOWN
+        )
+        faults = FaultSchedule.crash_recovery([(0, 20.0, 40.0)])
+        simulator = SystemSimulator(
+            stack.programs,
+            PARAMS,
+            schedule,
+            seed=3,
+            trace=stack.trace,
+            fault_schedule=faults,
+            bad_network=BadPeriodNetwork(loss_probability=0.3, min_delay=1.0, max_delay=10.0),
+        )
+        simulator.run(until=260.0)
+        storage = stack.programs[0].stable_storage
+        assert storage.load("round") >= 1
+        assert storage.load("state") is not None
+        # The recovered process caught up and decided like the others.
+        assert 0 in stack.trace.decision_values()

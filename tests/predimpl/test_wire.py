@@ -1,0 +1,26 @@
+"""Unit tests for the wire format of the predicate-implementation layer."""
+
+from __future__ import annotations
+
+from repro.predimpl.wire import WireKind, WireMessage, init_message, round_message
+
+
+class TestWireMessages:
+    def test_round_message(self):
+        message = round_message(3, "payload")
+        assert message.kind is WireKind.ROUND
+        assert message.round == 3
+        assert message.payload == "payload"
+        assert message.evidence_round() == 3
+
+    def test_init_message_evidence_is_previous_round(self):
+        message = init_message(5, "payload")
+        assert message.kind is WireKind.INIT
+        assert message.round == 5
+        # An INIT for round 5 proves the sender finished round 4.
+        assert message.evidence_round() == 4
+
+    def test_messages_are_hashable_and_comparable(self):
+        assert round_message(1, "x") == round_message(1, "x")
+        assert round_message(1, "x") != init_message(1, "x")
+        assert len({round_message(1, "x"), round_message(1, "x")}) == 1

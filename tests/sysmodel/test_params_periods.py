@@ -1,0 +1,118 @@
+"""Unit tests for the synchrony parameters and good/bad period schedules."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sysmodel.params import SynchronyParams
+from repro.sysmodel.periods import GoodPeriod, GoodPeriodKind, PeriodSchedule
+
+
+class TestSynchronyParams:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SynchronyParams(phi=0.5, delta=1.0)
+        with pytest.raises(ValueError):
+            SynchronyParams(phi=1.0, delta=0.0)
+
+    def test_algorithm_timeouts_match_the_paper(self):
+        params = SynchronyParams(phi=1.0, delta=2.0)
+        # Algorithm 2: ceil(2*2 + (n+2)*1) for n=4 -> 10 receive steps.
+        assert params.algorithm2_timeout(4) == 10
+        # Algorithm 3: ceil(2*2 + (2n+1)*1) for n=4 -> 13 receive steps.
+        assert params.algorithm3_timeout(4) == 13
+
+    def test_timeouts_round_up(self):
+        params = SynchronyParams(phi=1.5, delta=2.3)
+        assert params.algorithm2_timeout(3) == math.ceil(2 * 2.3 + 5 * 1.5)
+        assert params.algorithm3_timeout(3) == math.ceil(2 * 2.3 + 7 * 1.5)
+
+
+class TestGoodPeriod:
+    def test_length_and_containment(self):
+        period = GoodPeriod(10.0, 30.0, GoodPeriodKind.PI_GOOD, frozenset({0, 1}))
+        assert period.length == 20.0
+        assert period.contains(10.0)
+        assert period.contains(29.999)
+        assert not period.contains(30.0)
+        assert not period.is_initial
+
+    def test_initial_period(self):
+        period = GoodPeriod(0.0, math.inf, GoodPeriodKind.PI_GOOD, frozenset({0}))
+        assert period.is_initial
+        assert period.contains(1e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoodPeriod(-1.0, 2.0, GoodPeriodKind.PI_GOOD, frozenset())
+        with pytest.raises(ValueError):
+            GoodPeriod(5.0, 5.0, GoodPeriodKind.PI_GOOD, frozenset())
+
+
+class TestPeriodSchedule:
+    def test_always_good(self):
+        schedule = PeriodSchedule.always_good(3)
+        assert schedule.is_good(0.0)
+        assert schedule.is_good(12345.0)
+        assert schedule.is_synchronous(2, 10.0)
+        assert not schedule.is_down(2, 10.0)
+
+    def test_single_good_period(self):
+        schedule = PeriodSchedule.single_good_period(
+            3, start=50.0, length=20.0, kind=GoodPeriodKind.PI0_DOWN, pi0=[0, 1]
+        )
+        assert not schedule.is_good(49.9)
+        assert schedule.is_good(50.0)
+        assert schedule.is_good(69.9)
+        assert not schedule.is_good(70.0)
+        assert schedule.is_synchronous(0, 60.0)
+        assert not schedule.is_synchronous(2, 60.0)
+        assert schedule.is_down(2, 60.0)
+        assert not schedule.is_down(2, 10.0)
+
+    def test_arbitrary_period_outside_processes_are_not_down(self):
+        schedule = PeriodSchedule.single_good_period(
+            3, start=0.0, length=20.0, kind=GoodPeriodKind.PI0_ARBITRARY, pi0=[0, 1]
+        )
+        assert not schedule.is_down(2, 10.0)
+        assert not schedule.is_synchronous(2, 10.0)
+
+    def test_alternating(self):
+        schedule = PeriodSchedule.alternating(
+            2, good_length=10.0, bad_length=5.0, count=3
+        )
+        assert not schedule.is_good(2.0)
+        assert schedule.is_good(6.0)
+        assert not schedule.is_good(16.0)
+        assert schedule.is_good(21.0)
+        assert len(schedule.good_periods) == 3
+
+    def test_overlap_rejected(self):
+        with pytest.raises(ValueError, match="overlap"):
+            PeriodSchedule(
+                n=2,
+                good_periods=[
+                    GoodPeriod(0.0, 10.0, GoodPeriodKind.PI_GOOD, frozenset({0, 1})),
+                    GoodPeriod(5.0, 15.0, GoodPeriodKind.PI_GOOD, frozenset({0, 1})),
+                ],
+            )
+
+    def test_unknown_pi0_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodSchedule(
+                n=2,
+                good_periods=[
+                    GoodPeriod(0.0, 10.0, GoodPeriodKind.PI_GOOD, frozenset({5})),
+                ],
+            )
+
+    def test_next_boundary(self):
+        schedule = PeriodSchedule.single_good_period(
+            2, start=10.0, length=5.0, kind=GoodPeriodKind.PI_GOOD
+        )
+        assert schedule.next_boundary_after(0.0) == 10.0
+        assert schedule.next_boundary_after(10.0) == 15.0
+        assert schedule.next_boundary_after(20.0) is None
+        assert list(schedule.boundaries()) == [10.0, 15.0]

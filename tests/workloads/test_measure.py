@@ -1,0 +1,78 @@
+"""Integration tests of the measurement harness against the paper's bounds.
+
+Each test runs a small instance of the corresponding experiment and asserts
+the paper's claim (measured <= bound, shape of the comparison).  These tests
+are the fast versions of the sweeps in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import (
+    measure_arbitrary_p2otr,
+    measure_corollary4,
+    measure_ratio_noninitial_vs_initial,
+    measure_theorem3,
+    measure_theorem5,
+    measure_theorem6,
+    measure_theorem7,
+)
+
+
+class TestDownPeriodMeasurements:
+    def test_theorem3_within_bound(self):
+        for seed in (0, 1):
+            measurement = measure_theorem3(4, 2, seed=seed)
+            assert measurement.within_bound
+            assert measurement.measured is not None
+
+    def test_theorem5_within_bound_and_tight(self):
+        measurement = measure_theorem5(4, 2, seed=0)
+        assert measurement.within_bound
+        # With worst-case step gaps and delays, the nice-run measurement is
+        # exactly the analytic round length: the bound is tight.
+        assert measurement.measured == pytest.approx(measurement.bound)
+
+    def test_corollary4_measurements(self):
+        p2otr, p11otr = measure_corollary4(4, seed=0)
+        assert p2otr.within_bound
+        assert p11otr.within_bound
+        assert p11otr.bound < p2otr.bound
+
+    def test_ratio_between_non_initial_and_initial(self):
+        result = measure_ratio_noninitial_vs_initial(4, seed=0)
+        assert 1.5 <= result["bound_ratio"] <= 1.7
+        assert "measured_ratio" in result
+        # The measured ratio cannot exceed the bound ratio by much; it stays
+        # in the same ballpark (the paper's "approximately 3/2").
+        assert result["measured_ratio"] <= result["bound_ratio"] + 0.2
+
+    def test_scaling_with_n(self):
+        small = measure_theorem5(3, 2, seed=0)
+        large = measure_theorem5(6, 2, seed=0)
+        assert small.measured < large.measured
+        assert small.bound < large.bound
+
+
+class TestArbitraryPeriodMeasurements:
+    def test_theorem6_within_bound(self):
+        measurement = measure_theorem6(4, 1, 2, seed=0)
+        assert measurement.within_bound
+        assert measurement.measured is not None
+
+    def test_theorem7_within_bound(self):
+        for n, f in ((3, 1), (4, 1)):
+            measurement = measure_theorem7(n, f, 2, seed=0)
+            assert measurement.within_bound
+
+    def test_theorem6_costs_more_than_theorem7(self):
+        non_initial = measure_theorem6(4, 1, 2, seed=0)
+        initial = measure_theorem7(4, 1, 2, seed=0)
+        assert non_initial.bound > initial.bound
+
+    def test_full_stack_consensus_within_p2otr_bound(self):
+        measurement = measure_arbitrary_p2otr(4, 1, seed=0)
+        assert measurement.within_bound
+        decisions = measurement.extra["decisions"]
+        assert len(set(decisions.values())) == 1
