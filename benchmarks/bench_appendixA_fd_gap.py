@@ -27,7 +27,9 @@ from repro.workloads import compare_stacks
 
 def test_fd_gap_matrix(benchmark, report):
     def run_matrix():
-        return compare_stacks(n=4, seed=0)
+        # The comparison matrix goes through the repro.runner sweep executor,
+        # fanned out over parallel worker processes.
+        return compare_stacks(n=4, seed=0, workers=2)
 
     results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
     report(

@@ -26,15 +26,15 @@ from repro.sysmodel import (
     SynchronyParams,
     SystemSimulator,
 )
-from repro.workloads import measure_corollary4
+from repro.runner import run_measurement_sweep
 
 
 def test_corollary4_measurements(benchmark, report):
     def run_sweep():
-        rows = []
-        for n in (4, 6, 8):
-            rows.extend(measure_corollary4(n, seed=0))
-        return rows
+        per_size = run_measurement_sweep(
+            "corollary4", [dict(n=n, seed=0) for n in (4, 6, 8)], workers=2
+        )
+        return [measurement for pair in per_size for measurement in pair]
 
     measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     report("E10 Corollary 4: P_2otr vs P_1/1otr good-period lengths", [m.row() for m in measurements])

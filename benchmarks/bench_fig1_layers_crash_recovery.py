@@ -12,16 +12,15 @@ from __future__ import annotations
 
 import pytest
 
+from repro.runner import build_grid, run_sweep
 from repro.workloads import FAULT_MODELS, run_ho_stack
 
 
 def test_same_stack_under_every_fault_model(benchmark, report):
     def run_all():
-        results = []
-        for fault_model in FAULT_MODELS:
-            for seed in (0, 1):
-                results.append(run_ho_stack(fault_model, n=4, seed=seed))
-        return results
+        specs = build_grid(["ho-stack"], FAULT_MODELS, seeds=(0, 1), n=4)
+        sweep = run_sweep(specs, workers=2)
+        return [record.result for record in sweep.records]
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     report(

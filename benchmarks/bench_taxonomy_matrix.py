@@ -18,8 +18,8 @@ from repro.analysis import (
     communication_predicates_applicable,
     failure_detectors_applicable,
 )
+from repro.runner import run_one
 from repro.sysmodel import FaultSchedule
-from repro.workloads import run_chandra_toueg, run_ho_stack
 
 
 def taxonomy_configurations(n=4):
@@ -79,8 +79,8 @@ def test_empirical_applicability(benchmark, report):
     def run_all():
         rows = []
         for fault_class, fault_model in SCENARIO_OF_CLASS.items():
-            ho = run_ho_stack(fault_model, n=4, seed=0)
-            ct = run_chandra_toueg(fault_model, n=4, seed=0)
+            ho = run_one("ho-stack", fault_model, n=4, seed=0)
+            ct = run_one("chandra-toueg", fault_model, n=4, seed=0)
             rows.append((fault_class, fault_model, ho, ct))
         return rows
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workloads import measure_theorem3
+from repro.runner import run_measurement_sweep
 
 SWEEP = [
     # (n, x, delta, seed)
@@ -31,9 +31,11 @@ SWEEP = [
 
 def test_theorem3_sweep(benchmark, report):
     def run_sweep():
-        return [
-            measure_theorem3(n, x, delta=delta, seed=seed) for n, x, delta, seed in SWEEP
-        ]
+        return run_measurement_sweep(
+            "theorem3",
+            [dict(n=n, x=x, delta=delta, seed=seed) for n, x, delta, seed in SWEEP],
+            workers=2,
+        )
 
     measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     report(

@@ -12,7 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.predimpl import noninitial_to_initial_ratio
-from repro.workloads import measure_ratio_noninitial_vs_initial, measure_theorem5
+from repro.runner import run_measurement_sweep
 
 SWEEP = [
     # (n, x, delta)
@@ -28,7 +28,11 @@ SWEEP = [
 
 def test_theorem5_sweep(benchmark, report):
     def run_sweep():
-        return [measure_theorem5(n, x, delta=delta) for n, x, delta in SWEEP]
+        return run_measurement_sweep(
+            "theorem5",
+            [dict(n=n, x=x, delta=delta) for n, x, delta in SWEEP],
+            workers=2,
+        )
 
     measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     report(
@@ -45,7 +49,11 @@ def test_factor_three_halves(benchmark, report):
     """The factor ~3/2 between non-initial and initial good periods for x = 2."""
 
     def run():
-        return {n: measure_ratio_noninitial_vs_initial(n, seed=0) for n in (4, 6, 8)}
+        sizes = (4, 6, 8)
+        ratios = run_measurement_sweep(
+            "ratio_noninitial_vs_initial", [dict(n=n, seed=0) for n in sizes], workers=2
+        )
+        return dict(zip(sizes, ratios))
 
     results = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = [f"{'n':<4} {'bound ratio':<12} {'measured ratio':<15} analytic ratio"]

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.workloads import measure_theorem6
+from repro.runner import run_measurement_sweep
 
 SWEEP = [
     # (n, f, x, delta, seed)
@@ -27,10 +27,14 @@ SWEEP = [
 
 def test_theorem6_sweep(benchmark, report):
     def run_sweep():
-        return [
-            measure_theorem6(n, f, x, delta=delta, seed=seed)
-            for n, f, x, delta, seed in SWEEP
-        ]
+        return run_measurement_sweep(
+            "theorem6",
+            [
+                dict(n=n, f=f, x=x, delta=delta, seed=seed)
+                for n, f, x, delta, seed in SWEEP
+            ],
+            workers=2,
+        )
 
     measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     report(

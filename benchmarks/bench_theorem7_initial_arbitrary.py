@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.predimpl import theorem6_good_period_length, theorem7_initial_good_period_length
-from repro.workloads import measure_theorem7
+from repro.runner import run_measurement_sweep
 
 SWEEP = [
     # (n, f, x, delta)
@@ -26,7 +26,11 @@ SWEEP = [
 
 def test_theorem7_sweep(benchmark, report):
     def run_sweep():
-        return [measure_theorem7(n, f, x, delta=delta) for n, f, x, delta in SWEEP]
+        return run_measurement_sweep(
+            "theorem7",
+            [dict(n=n, f=f, x=x, delta=delta) for n, f, x, delta in SWEEP],
+            workers=2,
+        )
 
     measurements = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
     report(

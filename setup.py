@@ -1,9 +1,9 @@
-"""Legacy setup shim.
+"""Legacy editable-install shim.
 
-The project is configured in ``setup.cfg``; this file exists so that
-``pip install -e .`` works on offline environments without the ``wheel``
-package (pip then falls back to the ``setup.py develop`` editable-install
-path instead of building a wheel).
+The project is configured in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` keeps working on offline environments without the
+``wheel`` package (pip then falls back to the ``setup.py develop``
+editable-install path instead of building a PEP 660 wheel).
 """
 
 from setuptools import setup

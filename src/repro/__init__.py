@@ -3,6 +3,10 @@ for Coping with Transient and Dynamic Faults" (Hutle & Schiper, DSN 2007).
 
 The package implements the full stack described by the paper:
 
+* :mod:`repro.engine` -- the shared discrete-event engine core: the
+  (time, sequence)-ordered event queue, the simulated clock, named seeded
+  random sub-streams and the crash/recovery fault-injection layer that both
+  simulators delegate to;
 * :mod:`repro.core` -- the Heard-Of (HO) model: rounds, algorithms,
   communication predicates, heard-of oracles;
 * :mod:`repro.algorithms` -- consensus algorithms in the HO model
@@ -19,7 +23,10 @@ The package implements the full stack described by the paper:
 * :mod:`repro.analysis` -- fault taxonomy, predicate checking and consensus
   property checking over traces;
 * :mod:`repro.workloads` -- scenario generators and the measurement harness
-  used by the benchmarks.
+  used by the benchmarks;
+* :mod:`repro.runner` -- the scenario/measurement registry and the parallel
+  (scenario × seed × fault-model) sweep executor behind the benchmarks and
+  ``python -m repro.runner``.
 """
 
 __version__ = "1.0.0"

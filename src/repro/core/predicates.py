@@ -248,6 +248,12 @@ class POtr(CommunicationPredicate):
 
     Paired with the OneThirdRule algorithm this predicate solves consensus
     for *all* processes (Theorem 1).
+
+    Note: the second clause only bounds the *cardinality* of the later
+    heard-of sets (after a Pi-wide space-uniform round every value in the
+    system is common, so hearing any ``> 2n/3`` processes decides), whereas
+    :class:`PRestrOtr`'s second clause requires *containment* of ``Pi0``.
+    On arbitrary finite collections neither predicate implies the other.
     """
 
     name = "P_otr"

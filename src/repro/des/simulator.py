@@ -7,22 +7,25 @@ crash-recovery model).  Processes are written in the classical
 
 * :class:`DESProcess` subclasses implement ``on_start``, ``on_message``,
   ``on_timer`` and (for crash-recovery algorithms) ``on_recover``;
-* the :class:`EventSimulator` owns the event queue, the channels (delay
-  range and loss probability), the crash/recovery schedule, per-process
-  stable storage, and the registered failure-detector oracles.
+* the :class:`EventSimulator` is a *policy layer* over the shared engine
+  core (:mod:`repro.engine`): the event queue, the clock, the seeded
+  random sub-streams and the crash/recovery injection live in the engine,
+  while this module defines what the events mean -- message delivery over
+  (possibly lossy) channels, timers, per-process stable storage and the
+  registered failure-detector oracles.
 
-Everything is deterministic for a fixed seed.
+Channel randomness is drawn from two named engine sub-streams
+(``channel.loss`` and ``channel.delay``), so loss decisions never perturb
+the delay sequence.  Everything is deterministic for a fixed seed.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..core.types import ProcessId
+from ..engine import EngineCore, FaultEvent, FaultSchedule
 from .events import DecisionEvent, Event, EventKind
 
 
@@ -128,7 +131,12 @@ FailureDetectorOracle = Callable[["EventSimulator", ProcessId], Any]
 
 
 class EventSimulator:
-    """Deterministic event-driven simulator for asynchronous message passing."""
+    """Deterministic event-driven simulator for asynchronous message passing.
+
+    Event scheduling, simulated time, seeded randomness and crash/recovery
+    injection are delegated to :class:`repro.engine.EngineCore`; this class
+    only implements the message/timer policy on top of it.
+    """
 
     def __init__(
         self,
@@ -145,14 +153,15 @@ class EventSimulator:
         self.channel = channel if channel is not None else ChannelConfig()
         self.crash_times = dict(crash_times or {})
         self.recovery_times = dict(recovery_times or {})
-        for process, recover_at in self.recovery_times.items():
-            crash_at = self.crash_times.get(process)
-            if crash_at is None or recover_at <= crash_at:
-                raise ValueError(
-                    f"process {process} recovers at {recover_at} without a prior crash"
-                )
-        self._rng = random.Random(seed)
-        self.now = 0.0
+        self._engine = EngineCore(seed)
+        self._loss_rng = self._engine.rng.stream("channel.loss")
+        self._delay_rng = self._engine.rng.stream("channel.delay")
+        self._engine.attach_faults(
+            FaultSchedule.from_maps(self.crash_times, self.recovery_times),
+            crash=self._apply_crash,
+            recover=self._apply_recover,
+            recorder=self,
+        )
         self.up = [True] * self.n
         self.stable_storage: List[Dict[str, Any]] = [{} for _ in range(self.n)]
         self.decisions: Dict[ProcessId, DecisionEvent] = {}
@@ -161,12 +170,15 @@ class EventSimulator:
         self.messages_lost = 0
         self.crash_count = [0] * self.n
         self._contexts = [ProcessContext(self, p) for p in range(self.n)]
-        self._queue: List[Event] = []
-        self._sequence = itertools.count()
         self._cancelled_timers: set[Tuple[ProcessId, int]] = set()
-        self._timer_ids = itertools.count(1)
+        self._next_timer_id = 1
         self._failure_detectors: Dict[str, FailureDetectorOracle] = {}
         self._started = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (owned by the engine clock)."""
+        return self._engine.now
 
     # ------------------------------------------------------------------ #
     # registration / posting
@@ -184,35 +196,30 @@ class EventSimulator:
     def post_message(self, sender: ProcessId, destination: ProcessId, payload: Any) -> None:
         """Queue a message delivery, applying channel loss and delay."""
         self.messages_sent += 1
-        if self._rng.random() < self.channel.loss_probability:
+        if self._loss_rng.random() < self.channel.loss_probability:
             self.messages_lost += 1
             return
-        delay = self._rng.uniform(self.channel.min_delay, self.channel.max_delay)
-        self._push(
-            Event(
-                time=self.now + delay,
-                sequence=next(self._sequence),
-                kind=EventKind.DELIVER,
-                process=destination,
-                sender=sender,
-                payload=payload,
-            )
+        delay = self._delay_rng.uniform(self.channel.min_delay, self.channel.max_delay)
+        self._post(
+            self.now + delay,
+            EventKind.DELIVER,
+            destination,
+            sender=sender,
+            payload=payload,
         )
 
     def post_timer(self, process: ProcessId, delay: float, name: str) -> int:
         """Queue a timer event; returns an id usable with :meth:`cancel_timer`."""
         if delay < 0:
             raise ValueError(f"timer delay must be non-negative, got {delay}")
-        timer_id = next(self._timer_ids)
-        self._push(
-            Event(
-                time=self.now + delay,
-                sequence=next(self._sequence),
-                kind=EventKind.TIMER,
-                process=process,
-                timer_name=name,
-                timer_id=timer_id,
-            )
+        timer_id = self._next_timer_id
+        self._next_timer_id += 1
+        self._post(
+            self.now + delay,
+            EventKind.TIMER,
+            process,
+            timer_name=name,
+            timer_id=timer_id,
         )
         return timer_id
 
@@ -260,41 +267,45 @@ class EventSimulator:
         return scope_set.issubset(self.decisions)
 
     # ------------------------------------------------------------------ #
-    # main loop
+    # engine hooks: event posting, fault application, trace accounting
     # ------------------------------------------------------------------ #
 
-    def _push(self, event: Event) -> None:
-        heapq.heappush(self._queue, event)
+    def _post(self, time: float, kind: EventKind, process: ProcessId, **fields: Any) -> None:
+        """Create the public event record and schedule it on the engine queue."""
+        sequence = self._engine.queue.next_sequence()
+        event = Event(time=time, sequence=sequence, kind=kind, process=process, **fields)
+        self._engine.queue.schedule(time, event, sequence=sequence)
+
+    def _apply_crash(self, process: ProcessId) -> bool:
+        if not self.up[process]:
+            return False
+        self.processes[process].on_crash(self._contexts[process])
+        self.up[process] = False
+        return True
+
+    def _apply_recover(self, process: ProcessId) -> bool:
+        if self.up[process]:
+            return False
+        self.up[process] = True
+        self.processes[process].on_recover(self._contexts[process])
+        return True
+
+    def record_crash(self, process: ProcessId, time: float) -> None:
+        """Trace-recorder hook: account one applied crash."""
+        self.crash_count[process] += 1
+
+    def record_recovery(self, process: ProcessId, time: float) -> None:
+        """Trace-recorder hook: recoveries are visible via ``is_up``; nothing to count."""
+
+    # ------------------------------------------------------------------ #
+    # main loop
+    # ------------------------------------------------------------------ #
 
     def _start(self) -> None:
         self._started = True
         for process in range(self.n):
-            self._push(
-                Event(
-                    time=0.0,
-                    sequence=next(self._sequence),
-                    kind=EventKind.START,
-                    process=process,
-                )
-            )
-        for process, crash_time in self.crash_times.items():
-            self._push(
-                Event(
-                    time=crash_time,
-                    sequence=next(self._sequence),
-                    kind=EventKind.CRASH,
-                    process=process,
-                )
-            )
-        for process, recovery_time in self.recovery_times.items():
-            self._push(
-                Event(
-                    time=recovery_time,
-                    sequence=next(self._sequence),
-                    kind=EventKind.RECOVER,
-                    process=process,
-                )
-            )
+            self._post(0.0, EventKind.START, process)
+        self._engine.arm_faults()
 
     def run(
         self,
@@ -307,15 +318,11 @@ class EventSimulator:
         """
         if not self._started:
             self._start()
-        stopped_early = stop_when is not None and stop_when(self)
-        while not stopped_early and self._queue and self._queue[0].time <= until:
-            event = heapq.heappop(self._queue)
-            self.now = event.time
-            self._dispatch(event)
-            if stop_when is not None and stop_when(self):
-                stopped_early = True
-        if not stopped_early:
-            self.now = max(self.now, until)
+        self._engine.run(
+            until,
+            self._dispatch,
+            stop_when=None if stop_when is None else (lambda: stop_when(self)),
+        )
         return self.decision_values()
 
     def run_until_all_decided(self, until: float, scope: Optional[Iterable[ProcessId]] = None):
@@ -323,7 +330,11 @@ class EventSimulator:
         scope_set = set(range(self.n)) if scope is None else set(scope)
         return self.run(until, stop_when=lambda sim: sim.all_decided(scope_set))
 
-    def _dispatch(self, event: Event) -> None:
+    def _dispatch(self, event: Any) -> None:
+        if isinstance(event, FaultEvent):
+            assert self._engine.injector is not None
+            self._engine.injector.apply(event)
+            return
         process = event.process
         ctx = self._contexts[process]
         if event.kind is EventKind.START:
@@ -339,15 +350,6 @@ class EventSimulator:
                 return
             if self.up[process]:
                 self.processes[process].on_timer(ctx, event.timer_name)
-        elif event.kind is EventKind.CRASH:
-            if self.up[process]:
-                self.processes[process].on_crash(ctx)
-                self.up[process] = False
-                self.crash_count[process] += 1
-        elif event.kind is EventKind.RECOVER:
-            if not self.up[process]:
-                self.up[process] = True
-                self.processes[process].on_recover(ctx)
         else:  # pragma: no cover - defensive
             raise ValueError(f"unknown event kind {event.kind!r}")
 

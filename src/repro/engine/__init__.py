@@ -1,0 +1,40 @@
+"""repro.engine: the shared discrete-event engine core.
+
+The two simulators of the library -- the message-driven DES the
+failure-detector baselines run on (:mod:`repro.des`) and the step-level
+simulator of the paper's system model (:mod:`repro.sysmodel`) -- are thin
+policy layers over this package:
+
+* :class:`EventQueue` -- the (time, sequence)-ordered future-event list;
+* :class:`Clock` / :class:`TraceRecorder` -- simulated time and the
+  crash/recovery accounting protocol;
+* :class:`SeededRng` -- named, mutually isolated random sub-streams for
+  replayable channel / step / fault randomness;
+* :class:`FaultSchedule` / :class:`CrashRecoveryInjector` -- the common
+  crash/recovery fault-injection layer;
+* :class:`EngineCore` -- the bundle of all of the above plus the run loop.
+"""
+
+from .core import EngineCore
+from .faults import (
+    CrashRecoveryInjector,
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+)
+from .queue import EventQueue
+from .rng import SeededRng, derive_seed
+from .trace import Clock, TraceRecorder
+
+__all__ = [
+    "EngineCore",
+    "EventQueue",
+    "Clock",
+    "TraceRecorder",
+    "SeededRng",
+    "derive_seed",
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "CrashRecoveryInjector",
+]

@@ -1,0 +1,50 @@
+"""The unified clock and trace-recorder protocol of the engine core.
+
+Simulated time is a real-valued global clock that only the engine may
+advance; processes never read it.  Trace recording is defined as a
+*protocol* rather than a class: the DES keeps its counters on the simulator
+object itself, the step-level model records into a
+:class:`repro.sysmodel.trace.SystemRunTrace`, and both satisfy
+:class:`TraceRecorder` so the shared fault-injection layer can account
+crashes and recoveries without knowing which simulator it serves.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..core.types import ProcessId
+
+
+class Clock:
+    """The monotone simulated-time clock owned by the engine core."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def advance(self, time: float) -> None:
+        """Move the clock forward to *time* (never backwards)."""
+        if time > self.now:
+            self.now = time
+
+
+@runtime_checkable
+class TraceRecorder(Protocol):
+    """What the engine needs from a trace: crash / recovery accounting.
+
+    Both :class:`repro.des.simulator.EventSimulator` (which records onto
+    itself) and :class:`repro.sysmodel.trace.SystemRunTrace` implement this.
+    """
+
+    def record_crash(self, process: ProcessId, time: float) -> None:
+        """Account one applied crash of *process* at *time*."""
+        ...
+
+    def record_recovery(self, process: ProcessId, time: float) -> None:
+        """Account one applied recovery of *process* at *time*."""
+        ...
+
+
+__all__ = ["Clock", "TraceRecorder"]

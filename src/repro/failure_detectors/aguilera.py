@@ -160,6 +160,14 @@ class AguileraProcess(DESProcess):
                 coordinator,
                 ACTMessage("estimate", self.round, self.estimate, self.timestamp),
             )
+        elif self.process_id != coordinator:
+            # timestamp == round means the stable state proves an ACK for this
+            # round was already s-sent, but the crash wiped it from the
+            # volatile xmitmsg.  Re-issue it so retransmission resumes --
+            # otherwise a process recovering right after its ACK stays silent
+            # and, once everybody else decided and went quiet, blocks forever.
+            # Acks are collected in a set, so the duplicate is harmless.
+            self._s_send(ctx, coordinator, ACTMessage("ack", self.round))
 
     # ------------------------------------------------------------------ #
     # timers: retransmission and skip_round

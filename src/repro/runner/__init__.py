@@ -1,0 +1,38 @@
+"""repro.runner: the scenario registry and the parallel multi-run harness.
+
+The runner turns single simulation runs into experiments:
+
+* :mod:`repro.runner.registry` -- scenarios and measurements registered
+  under picklable string names (populated by importing
+  :mod:`repro.workloads`);
+* :mod:`repro.runner.sweep` -- grid expansion, the (optionally
+  ``multiprocessing``-parallel) sweep executor, deterministic aggregation
+  and the machine-readable JSON summary;
+* ``python -m repro.runner`` -- the command-line entry point used by CI to
+  produce sweep summaries on every push.
+"""
+
+from .registry import REGISTRY, TaskRegistry
+from .sweep import (
+    SCHEMA,
+    RunRecord,
+    RunSpec,
+    SweepResult,
+    build_grid,
+    run_measurement_sweep,
+    run_one,
+    run_sweep,
+)
+
+__all__ = [
+    "REGISTRY",
+    "TaskRegistry",
+    "SCHEMA",
+    "RunSpec",
+    "RunRecord",
+    "SweepResult",
+    "build_grid",
+    "run_sweep",
+    "run_one",
+    "run_measurement_sweep",
+]

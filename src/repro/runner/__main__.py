@@ -1,0 +1,104 @@
+"""Command-line sweep executor: ``python -m repro.runner``.
+
+Runs a (scenario × fault-model × seed) grid, prints a fixed-width report
+and optionally writes the machine-readable JSON summary consumed by CI::
+
+    python -m repro.runner \
+        --scenarios ho-stack chandra-toueg \
+        --fault-models fault-free crash-stop \
+        --seeds 0 1 --workers 2 --json sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .registry import REGISTRY
+from .sweep import _resolve_workers, build_grid, run_sweep
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runner",
+        description="Run a (scenario x fault-model x seed) sweep grid.",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        help="scenario names (default: every registered scenario)",
+    )
+    parser.add_argument(
+        "--fault-models",
+        nargs="+",
+        default=["fault-free", "crash-stop", "crash-recovery", "lossy"],
+        help="fault models to sweep (default: all four)",
+    )
+    parser.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=[0],
+        help="seeds to sweep (default: 0)",
+    )
+    parser.add_argument("--n", type=int, default=4, help="system size (default: 4)")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker processes (default: 1 = inline)",
+    )
+    parser.add_argument("--json", default=None, help="write the JSON summary here")
+    parser.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the per-run progress lines"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in REGISTRY.scenario_names():
+            print(name)
+        return 0
+
+    known = REGISTRY.scenario_names()
+    scenarios = args.scenarios if args.scenarios else known
+    unknown = [name for name in scenarios if name not in known]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {', '.join(unknown)}; known: {', '.join(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    specs = build_grid(scenarios, args.fault_models, args.seeds, n=args.n)
+    workers = _resolve_workers(args.workers, len(specs))
+    print(
+        f"sweep: {len(scenarios)} scenario(s) x {len(args.fault_models)} fault "
+        f"model(s) x {len(args.seeds)} seed(s) = {len(specs)} runs "
+        f"({workers} worker(s))"
+    )
+
+    on_record = None
+    if not args.quiet:
+        on_record = lambda record: print(f"  done {record.row()}")  # noqa: E731
+
+    result = run_sweep(specs, workers=workers, on_record=on_record)
+
+    print()
+    for line in result.report_lines():
+        print(line)
+    print(f"\nwall time: {result.wall_seconds:.2f}s with {result.workers} worker(s)")
+
+    if args.json:
+        result.write_json(args.json)
+        print(f"JSON summary written to {args.json}")
+
+    errors = sum(1 for record in result.records if record.error)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,87 @@
+"""The scenario / measurement registry of the experiment runner.
+
+Experiments are registered under string names so that the sweep executor
+can address them from worker processes (a name pickles trivially; a
+closure does not).  Two namespaces exist:
+
+* *scenarios* -- end-to-end consensus runs, ``fn(fault_model, n=..., seed=...,
+  **params) -> ScenarioResult`` (the three stacks of
+  :mod:`repro.workloads.scenarios` register themselves here);
+* *measurements* -- bound-vs-measured experiments, ``fn(**params) ->
+  Measurement`` or a sequence thereof (the ``measure_*`` functions of
+  :mod:`repro.workloads.measure` register themselves here).
+
+The registry itself depends on nothing above the standard library, so the
+import direction is strictly ``workloads -> runner.registry`` and worker
+processes populate it by importing :mod:`repro.workloads`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+
+class TaskRegistry:
+    """Name -> callable registries for scenarios and measurements."""
+
+    def __init__(self) -> None:
+        self._scenarios: Dict[str, Callable] = {}
+        self._measurements: Dict[str, Callable] = {}
+
+    # -- registration -------------------------------------------------- #
+
+    def register_scenario(self, name: str, fn: Callable) -> Callable:
+        """Register scenario *name*; returns *fn* so it can be used as a decorator."""
+        self._scenarios[name] = fn
+        return fn
+
+    def register_measurement(self, name: str, fn: Callable) -> Callable:
+        """Register measurement *name*; returns *fn* so it can be used as a decorator."""
+        self._measurements[name] = fn
+        return fn
+
+    # -- lookup -------------------------------------------------------- #
+
+    def scenario(self, name: str) -> Callable:
+        """The scenario runner registered under *name*."""
+        self._ensure_populated()
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; known: {self.scenario_names()}"
+            ) from None
+
+    def measurement(self, name: str) -> Callable:
+        """The measurement function registered under *name*."""
+        self._ensure_populated()
+        try:
+            return self._measurements[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown measurement {name!r}; known: {self.measurement_names()}"
+            ) from None
+
+    def scenario_names(self) -> List[str]:
+        self._ensure_populated()
+        return sorted(self._scenarios)
+
+    def measurement_names(self) -> List[str]:
+        self._ensure_populated()
+        return sorted(self._measurements)
+
+    def _ensure_populated(self) -> None:
+        """Import the workload modules whose import side-effect registers tasks.
+
+        Lookups may happen in a fresh worker process where nothing has been
+        imported yet; this makes name resolution self-contained.
+        """
+        if not self._scenarios:
+            import repro.workloads  # noqa: F401  (registers scenarios + measurements)
+
+
+#: The process-wide registry the sweep executor resolves names against.
+REGISTRY = TaskRegistry()
+
+
+__all__ = ["TaskRegistry", "REGISTRY"]

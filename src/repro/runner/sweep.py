@@ -1,0 +1,413 @@
+"""The multi-run experiment harness: (scenario × seed × fault-model) sweeps.
+
+One simulation run is cheap; the interesting questions -- solve rates under
+a fault model, latency distributions across seeds, bound tightness across
+system sizes -- need grids of runs.  This module executes such grids, in
+parallel worker processes when asked to, and aggregates the streamed-back
+per-run metrics deterministically:
+
+* :func:`build_grid` expands (scenarios × fault-models × seeds) into
+  :class:`RunSpec` entries;
+* :func:`run_sweep` executes the specs (inline, or in a ``multiprocessing``
+  pool), streaming one :class:`RunRecord` per finished run;
+* :class:`SweepResult` holds the records in grid order and computes
+  seed-stable aggregates plus a machine-readable JSON summary
+  (``schema: repro-sweep/1``) for benchmark trajectories in CI.
+
+Determinism: every run is fully determined by its spec (the simulators are
+deterministic per seed), records are re-ordered into grid order regardless
+of worker completion order, and aggregates never include wall-clock times
+-- so the same grid always yields byte-identical aggregates.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from .registry import REGISTRY
+
+#: JSON schema tag of the sweep summary.
+SCHEMA = "repro-sweep/1"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of a sweep grid: a scenario under one fault model and seed."""
+
+    scenario: str
+    fault_model: str
+    seed: int
+    n: int = 4
+    #: extra keyword arguments for the scenario runner, stored as a sorted
+    #: tuple of pairs so the spec stays hashable and picklable.
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    @classmethod
+    def make(
+        cls, scenario: str, fault_model: str, seed: int, n: int = 4, **params: Any
+    ) -> "RunSpec":
+        return cls(
+            scenario=scenario,
+            fault_model=fault_model,
+            seed=seed,
+            n=n,
+            params=tuple(sorted(params.items())),
+        )
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def key(self) -> Tuple[str, str, int, int]:
+        return (self.scenario, self.fault_model, self.n, self.seed)
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The streamed-back outcome of one run (metrics flattened for JSON)."""
+
+    scenario: str
+    fault_model: str
+    seed: int
+    n: int
+    solved: bool
+    safe: bool
+    terminated: bool
+    decided_processes: int
+    scope_size: int
+    first_decision_time: Optional[float]
+    last_decision_time: Optional[float]
+    messages_sent: int
+    wall_seconds: float
+    error: Optional[str] = None
+    #: the full ScenarioResult (verdict + metrics); carried for in-process
+    #: consumers such as ``compare_stacks``, excluded from the JSON summary.
+    result: Any = field(default=None, compare=False, repr=False)
+
+    def to_json_dict(self) -> Dict[str, Any]:
+        """The per-run entry of the JSON summary (wall time included, result not)."""
+        return {
+            "scenario": self.scenario,
+            "fault_model": self.fault_model,
+            "seed": self.seed,
+            "n": self.n,
+            "solved": self.solved,
+            "safe": self.safe,
+            "terminated": self.terminated,
+            "decided_processes": self.decided_processes,
+            "scope_size": self.scope_size,
+            "first_decision_time": self.first_decision_time,
+            "last_decision_time": self.last_decision_time,
+            "messages_sent": self.messages_sent,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "error": self.error,
+        }
+
+    def row(self) -> str:
+        """A fixed-width text row for reports."""
+        latency = (
+            "   -  "
+            if self.last_decision_time is None
+            else f"{self.last_decision_time:6.1f}"
+        )
+        status = f"ERROR: {self.error}" if self.error else (
+            f"safe={'yes' if self.safe else 'NO '} "
+            f"terminated={'yes' if self.terminated else 'no '} "
+            f"latency={latency} messages={self.messages_sent}"
+        )
+        return (
+            f"{self.scenario:<16} {self.fault_model:<15} n={self.n:<3} "
+            f"seed={self.seed:<3} {status}"
+        )
+
+
+def execute_run(spec: RunSpec) -> RunRecord:
+    """Run one spec and flatten its outcome (top-level: picklable for workers)."""
+    runner = REGISTRY.scenario(spec.scenario)
+    started = time.perf_counter()
+    try:
+        result = runner(spec.fault_model, n=spec.n, seed=spec.seed, **spec.kwargs)
+    except Exception as exc:  # noqa: BLE001 - a failed cell must not kill the sweep
+        return RunRecord(
+            scenario=spec.scenario,
+            fault_model=spec.fault_model,
+            seed=spec.seed,
+            n=spec.n,
+            solved=False,
+            safe=False,
+            terminated=False,
+            decided_processes=0,
+            scope_size=0,
+            first_decision_time=None,
+            last_decision_time=None,
+            messages_sent=0,
+            wall_seconds=time.perf_counter() - started,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    wall = time.perf_counter() - started
+    metrics = result.metrics
+    return RunRecord(
+        scenario=spec.scenario,
+        fault_model=spec.fault_model,
+        seed=spec.seed,
+        n=spec.n,
+        solved=result.solved,
+        safe=result.safe,
+        terminated=result.verdict.termination,
+        decided_processes=metrics.decided_processes,
+        scope_size=metrics.scope_size,
+        first_decision_time=metrics.first_decision_time,
+        last_decision_time=metrics.last_decision_time,
+        messages_sent=metrics.messages_sent,
+        wall_seconds=wall,
+        result=result,
+    )
+
+
+def _execute_indexed(job: Tuple[int, RunSpec]) -> Tuple[int, "RunRecord"]:
+    """Run one grid cell, tagged with its grid position (picklable for workers)."""
+    index, spec = job
+    return index, execute_run(spec)
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep, in grid order, plus deterministic aggregates."""
+
+    records: List[RunRecord]
+    workers: int = 1
+    wall_seconds: float = 0.0
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record_for(
+        self, scenario: str, fault_model: str, seed: int, n: Optional[int] = None
+    ) -> RunRecord:
+        """The record of one grid cell (raises when absent or ambiguous).
+
+        *n* may be omitted on single-size grids; on multi-size grids an
+        ambiguous lookup raises instead of silently picking one.
+        """
+        matches = [
+            record
+            for record in self.records
+            if (record.scenario, record.fault_model, record.seed)
+            == (scenario, fault_model, seed)
+            and (n is None or record.n == n)
+        ]
+        if not matches:
+            raise KeyError(f"no record for {(scenario, fault_model, seed, n)}")
+        if len(matches) > 1:
+            sizes = sorted(record.n for record in matches)
+            raise KeyError(
+                f"{len(matches)} records match {(scenario, fault_model, seed)}; "
+                f"pass n= to disambiguate (sizes: {sizes})"
+            )
+        return matches[0]
+
+    def aggregate(self) -> Dict[str, Dict[str, Any]]:
+        """Seed-stable aggregates per ``scenario/fault_model`` group.
+
+        Wall-clock times are deliberately excluded: aggregates depend only on
+        the (deterministic) simulation outcomes, so re-running the same grid
+        -- serially or in parallel -- yields identical aggregates.
+        """
+        groups: Dict[Tuple[str, str], List[RunRecord]] = {}
+        for record in self.records:
+            groups.setdefault((record.scenario, record.fault_model), []).append(record)
+        aggregates: Dict[str, Dict[str, Any]] = {}
+        for (scenario, fault_model) in sorted(groups):
+            group = sorted(groups[(scenario, fault_model)], key=lambda r: (r.n, r.seed))
+            latencies = [
+                r.last_decision_time for r in group if r.last_decision_time is not None
+            ]
+            aggregates[f"{scenario}/{fault_model}"] = {
+                "runs": len(group),
+                "errors": sum(1 for r in group if r.error),
+                "solved": sum(1 for r in group if r.solved),
+                "solve_rate": sum(1 for r in group if r.solved) / len(group),
+                "all_safe": (
+                    all(r.safe for r in group if not r.error)
+                    if any(not r.error for r in group)
+                    else None
+                ),
+                "mean_last_decision_time": (
+                    sum(latencies) / len(latencies) if latencies else None
+                ),
+                "max_last_decision_time": max(latencies) if latencies else None,
+                "total_messages_sent": sum(r.messages_sent for r in group),
+                "seeds": [r.seed for r in group],
+            }
+        return aggregates
+
+    def to_json(self) -> Dict[str, Any]:
+        """The machine-readable summary (``schema: repro-sweep/1``)."""
+        return {
+            "schema": SCHEMA,
+            "grid_size": len(self.records),
+            "workers": self.workers,
+            "wall_seconds": round(self.wall_seconds, 6),
+            "runs": [record.to_json_dict() for record in self.records],
+            "aggregates": self.aggregate(),
+        }
+
+    def write_json(self, path: str) -> None:
+        """Write the JSON summary to *path* (creating parent directories)."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, indent=2, sort_keys=False)
+            handle.write("\n")
+
+    def report_lines(self) -> List[str]:
+        """Fixed-width rows plus aggregate lines, for text reports."""
+        lines = [record.row() for record in self.records]
+        lines.append("-" * 78)
+        for name, aggregate in self.aggregate().items():
+            mean_latency = aggregate["mean_last_decision_time"]
+            lines.append(
+                f"{name:<32} runs={aggregate['runs']:<3} "
+                f"solved={aggregate['solved']}/{aggregate['runs']} "
+                f"all_safe={aggregate['all_safe']!s:<5} "
+                f"mean_latency="
+                f"{'-' if mean_latency is None else format(mean_latency, '.1f')}"
+            )
+        return lines
+
+
+def build_grid(
+    scenarios: Sequence[str],
+    fault_models: Sequence[str],
+    seeds: Sequence[int],
+    n: int = 4,
+    **params: Any,
+) -> List[RunSpec]:
+    """Expand a (scenario × fault-model × seed) grid into run specs."""
+    return [
+        RunSpec.make(scenario, fault_model, seed, n=n, **params)
+        for scenario in scenarios
+        for fault_model in fault_models
+        for seed in seeds
+    ]
+
+
+def _resolve_workers(workers: Optional[int], jobs: int) -> int:
+    # Never more workers than jobs, but deliberately no cpu_count() clamp:
+    # a requested pool is honoured even on small machines (the workers are
+    # processes; oversubscription just time-slices).
+    if workers is None or workers <= 1:
+        return 1
+    return max(1, min(workers, jobs))
+
+
+def run_sweep(
+    specs: Sequence[RunSpec],
+    workers: Optional[int] = None,
+    on_record: Optional[Callable[[RunRecord], None]] = None,
+) -> SweepResult:
+    """Execute *specs*, optionally in parallel worker processes.
+
+    ``workers`` <= 1 (or ``None``) runs inline; larger values fan the grid
+    out over a ``multiprocessing`` pool.  *on_record* is invoked as each
+    run's record streams back (in completion order); the returned
+    :class:`SweepResult` always holds the records in grid order, so results
+    are independent of worker scheduling.
+    """
+    specs = list(specs)
+    worker_count = _resolve_workers(workers, len(specs))
+    started = time.perf_counter()
+    if worker_count == 1:
+        records = []
+        for spec in specs:
+            record = execute_run(spec)
+            if on_record is not None:
+                on_record(record)
+            records.append(record)
+    else:
+        # Index by grid position, not by spec fields: specs differing only in
+        # extra params would collide on any field-derived key.
+        slots: List[Optional[RunRecord]] = [None] * len(specs)
+        with multiprocessing.Pool(processes=worker_count) as pool:
+            for index, record in pool.imap_unordered(
+                _execute_indexed, list(enumerate(specs)), chunksize=1
+            ):
+                if on_record is not None:
+                    on_record(record)
+                slots[index] = record
+        records = [record for record in slots if record is not None]
+        assert len(records) == len(specs)
+    return SweepResult(
+        records=records,
+        workers=worker_count,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+def run_one(
+    scenario: str, fault_model: str, seed: int = 0, n: int = 4, **params: Any
+) -> Any:
+    """Run a single registered scenario and return its full ScenarioResult."""
+    return REGISTRY.scenario(scenario)(fault_model, n=n, seed=seed, **params)
+
+
+# --------------------------------------------------------------------------- #
+# measurement sweeps (bound-vs-measured experiments)
+# --------------------------------------------------------------------------- #
+
+
+def execute_measurement(job: Tuple[str, Tuple[Tuple[str, Any], ...]]) -> Any:
+    """Run one measurement job (top-level: picklable for workers)."""
+    name, params = job
+    return REGISTRY.measurement(name)(**dict(params))
+
+
+def run_measurement_sweep(
+    name: str,
+    param_sets: Iterable[Mapping[str, Any]],
+    workers: Optional[int] = None,
+) -> List[Any]:
+    """Run measurement *name* over *param_sets*; results come back in input order.
+
+    Entries whose measurement returns a sequence (e.g. ``measure_corollary4``)
+    are kept as returned; callers flatten if needed.
+    """
+    jobs = [(name, tuple(sorted(params.items()))) for params in param_sets]
+    worker_count = _resolve_workers(workers, len(jobs))
+    if worker_count == 1:
+        return [execute_measurement(job) for job in jobs]
+    with multiprocessing.Pool(processes=worker_count) as pool:
+        return pool.map(execute_measurement, jobs, chunksize=1)
+
+
+__all__ = [
+    "SCHEMA",
+    "RunSpec",
+    "RunRecord",
+    "SweepResult",
+    "build_grid",
+    "run_sweep",
+    "run_one",
+    "execute_run",
+    "run_measurement_sweep",
+    "execute_measurement",
+]

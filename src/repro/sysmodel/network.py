@@ -97,6 +97,7 @@ class Network:
         bad_behavior: Optional[BadPeriodNetwork] = None,
         good_delay_factor: float = 1.0,
         seed: int = 0,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if not 0.0 < good_delay_factor <= 1.0:
             raise ValueError(
@@ -107,7 +108,10 @@ class Network:
         self.schedule = schedule
         self.bad_behavior = bad_behavior if bad_behavior is not None else BadPeriodNetwork()
         self.good_delay_factor = good_delay_factor
-        self._rng = random.Random(seed)
+        # The simulator injects the engine's "network" sub-stream here, so
+        # bad-period link randomness is isolated from step/fault randomness;
+        # *seed* remains as a fallback for stand-alone Network construction.
+        self._rng = rng if rng is not None else random.Random(seed)
         self._sequence = itertools.count()
         #: messages in transit, per receiver (the paper's ``network_p``)
         self.network: Dict[ProcessId, List[Envelope]] = {p: [] for p in range(n)}

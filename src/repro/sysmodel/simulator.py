@@ -1,6 +1,9 @@
 """The step-level discrete-event simulator of the system model (Section 4.1).
 
-The simulator orchestrates:
+The simulator is a *policy layer* over the shared engine core
+(:mod:`repro.engine`): event scheduling, the simulated clock, seeded random
+sub-streams and crash/recovery injection live in the engine, while this
+module decides what the events mean:
 
 * process steps -- each up process executes its next send or receive step at
   times governed by the synchrony assumptions (``pi0-sync`` in good periods,
@@ -10,23 +13,26 @@ The simulator orchestrates:
   periods and the bad-period policy otherwise;
 * good/bad period boundaries (recovering the pi0 processes, forcing down the
   others for ``pi0-down`` periods, purging their in-transit messages);
-* injected crash / recovery fault events.
+* injected crash / recovery fault events, routed through the engine's
+  :class:`~repro.engine.faults.CrashRecoveryInjector` (events violating a
+  good period are vetoed and show up in :attr:`skipped_fault_events`).
 
-Everything is deterministic for a fixed seed; no wall-clock time, threads or
-asyncio are involved, so worst-case schedules can be replayed exactly.
+Randomness is split over two named engine sub-streams: ``steps`` drives
+bad-period step gaps and stalls, ``network`` drives bad-period link delay
+and loss -- so changing the channel noise model never perturbs step or
+fault timing.  Everything is deterministic for a fixed seed; no wall-clock
+time, threads or asyncio are involved, so worst-case schedules can be
+replayed exactly.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
-import math
-import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, List, Optional, Sequence
 
 from ..core.types import ProcessId
-from .faults import BadPeriodProcessBehavior, FaultEvent, FaultKind, FaultSchedule
+from ..engine import EngineCore, FaultEvent
+from .faults import BadPeriodProcessBehavior, FaultSchedule
 from .network import BadPeriodNetwork, Envelope, Network
 from .params import SynchronyParams
 from .periods import GoodPeriod, GoodPeriodKind, PeriodSchedule
@@ -42,19 +48,13 @@ from .trace import SystemRunTrace
 
 @dataclass(frozen=True)
 class _Event:
-    """An entry of the event queue (ordered by time, then insertion order)."""
+    """An entry of the event queue (ordering is imposed by the engine queue)."""
 
-    time: float
-    sequence: int
     kind: str
     process: Optional[ProcessId] = None
     generation: int = 0
     envelope: Optional[Envelope] = None
     period: Optional[GoodPeriod] = None
-    fault: Optional[FaultEvent] = None
-
-    def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.sequence) < (other.time, other.sequence)
 
 
 class SystemSimulator:
@@ -83,7 +83,9 @@ class SystemSimulator:
         Fraction of ``delta`` used for synchronous transmissions (1.0 =
         worst case).
     seed:
-        Seed for all randomised choices (bad-period behaviour).
+        Master seed for all randomised choices (bad-period behaviour); the
+        engine derives the isolated ``steps`` and ``network`` sub-streams
+        from it.
     """
 
     def __init__(
@@ -118,50 +120,49 @@ class SystemSimulator:
                 f"good_step_gap must be in [1, phi={params.phi}], got {self.good_step_gap}"
             )
         self.trace = trace if trace is not None else SystemRunTrace(n=self.n)
-        self._rng = random.Random(seed)
+        self._engine = EngineCore(seed)
+        self._rng = self._engine.rng.stream("steps")
+        self._injector = self._engine.attach_faults(
+            self.fault_schedule,
+            crash=self._apply_crash,
+            recover=self._apply_recover,
+            veto=self._fault_vetoed,
+            recorder=self.trace,
+        )
         self.network = Network(
             n=self.n,
             params=params,
             schedule=schedule,
             bad_behavior=bad_network,
             good_delay_factor=good_delay_factor,
-            seed=seed + 1,
+            rng=self._engine.rng.stream("network"),
         )
         self.runtimes: List[ProcessRuntime] = [ProcessRuntime(program) for program in programs]
-        self.now = 0.0
-        self.skipped_fault_events: List[FaultEvent] = []
-        self._sequence = itertools.count()
-        self._queue: List[_Event] = []
         self._started = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (owned by the engine clock)."""
+        return self._engine.now
+
+    @property
+    def skipped_fault_events(self) -> List[FaultEvent]:
+        """Fault events vetoed because they fell inside a good period's scope."""
+        return self._injector.skipped
 
     # ------------------------------------------------------------------ #
     # event-queue helpers
     # ------------------------------------------------------------------ #
 
-    def _push(self, event: _Event) -> None:
-        heapq.heappush(self._queue, event)
-
     def _schedule_step(self, process: ProcessId, time: float) -> None:
         runtime = self.runtimes[process]
-        self._push(
-            _Event(
-                time=time,
-                sequence=next(self._sequence),
-                kind="step",
-                process=process,
-                generation=runtime.schedule_generation,
-            )
+        self._engine.queue.schedule(
+            time,
+            _Event(kind="step", process=process, generation=runtime.schedule_generation),
         )
 
     def _schedule_make_ready(self, envelope: Envelope, time: float) -> None:
-        self._push(
-            _Event(
-                time=time,
-                sequence=next(self._sequence),
-                kind="make_ready",
-                envelope=envelope,
-            )
-        )
+        self._engine.queue.schedule(time, _Event(kind="make_ready", envelope=envelope))
 
     # ------------------------------------------------------------------ #
     # start-up
@@ -176,23 +177,8 @@ class SystemSimulator:
             if first_gap is not None:
                 self._schedule_step(process, first_gap)
         for period in self.schedule.good_periods:
-            self._push(
-                _Event(
-                    time=period.start,
-                    sequence=next(self._sequence),
-                    kind="period_start",
-                    period=period,
-                )
-            )
-        for fault in self.fault_schedule.events:
-            self._push(
-                _Event(
-                    time=fault.time,
-                    sequence=next(self._sequence),
-                    kind="fault",
-                    fault=fault,
-                )
-            )
+            self._engine.queue.schedule(period.start, _Event(kind="period_start", period=period))
+        self._engine.arm_faults()
 
     # ------------------------------------------------------------------ #
     # step scheduling policy
@@ -277,7 +263,7 @@ class SystemSimulator:
                 runtime = self.runtimes[process]
                 if runtime.up:
                     runtime.crash()
-                    self.trace.crashes += 1
+                    self.trace.record_crash(process, self.now)
                     self.network.purge_process_state(process)
             if outside:
                 self.network.purge_messages_from(outside)
@@ -285,31 +271,36 @@ class SystemSimulator:
             runtime = self.runtimes[process]
             if not runtime.up:
                 runtime.recover()
-                self.trace.recoveries += 1
+                self.trace.record_recovery(process, self.now)
             else:
                 runtime.schedule_generation += 1
             self._schedule_step(process, self.now + self.good_step_gap)
 
-    def _handle_fault(self, event: _Event) -> None:
-        fault = event.fault
-        assert fault is not None
-        if self.schedule.is_synchronous(fault.process, self.now):
-            # Good periods forbid faults on pi0 processes; record and skip.
-            self.skipped_fault_events.append(fault)
-            return
-        runtime = self.runtimes[fault.process]
-        if fault.kind is FaultKind.CRASH:
-            if runtime.up:
-                runtime.crash()
-                self.trace.crashes += 1
-                self.network.purge_process_state(fault.process)
-        elif fault.kind is FaultKind.RECOVER:
-            if not runtime.up:
-                runtime.recover()
-                self.trace.recoveries += 1
-                gap = self._step_gap(fault.process, self.now)
-                if gap is not None:
-                    self._schedule_step(fault.process, self.now + gap)
+    # ------------------------------------------------------------------ #
+    # fault-injection hooks (called by the engine's CrashRecoveryInjector)
+    # ------------------------------------------------------------------ #
+
+    def _fault_vetoed(self, fault: FaultEvent) -> bool:
+        # Good periods forbid faults on processes in their synchronous scope.
+        return self.schedule.is_synchronous(fault.process, self.now)
+
+    def _apply_crash(self, process: ProcessId) -> bool:
+        runtime = self.runtimes[process]
+        if not runtime.up:
+            return False
+        runtime.crash()
+        self.network.purge_process_state(process)
+        return True
+
+    def _apply_recover(self, process: ProcessId) -> bool:
+        runtime = self.runtimes[process]
+        if runtime.up:
+            return False
+        runtime.recover()
+        gap = self._step_gap(process, self.now)
+        if gap is not None:
+            self._schedule_step(process, self.now + gap)
+        return True
 
     # ------------------------------------------------------------------ #
     # main loop
@@ -321,22 +312,21 @@ class SystemSimulator:
             raise ValueError(f"cannot run backwards: now={self.now}, until={until}")
         if not self._started:
             self._start()
-        while self._queue and self._queue[0].time <= until:
-            event = heapq.heappop(self._queue)
-            self.now = event.time
-            if event.kind == "step":
-                self._handle_step(event)
-            elif event.kind == "make_ready":
-                self._handle_make_ready(event)
-            elif event.kind == "period_start":
-                self._handle_period_start(event)
-            elif event.kind == "fault":
-                self._handle_fault(event)
-            else:  # pragma: no cover - defensive
-                raise ValueError(f"unknown event kind {event.kind!r}")
-        self.now = until
+        self._engine.run(until, self._dispatch)
         self._finalise_trace()
         return self.trace
+
+    def _dispatch(self, event: Any) -> None:
+        if isinstance(event, FaultEvent):
+            self._injector.apply(event)
+        elif event.kind == "step":
+            self._handle_step(event)
+        elif event.kind == "make_ready":
+            self._handle_make_ready(event)
+        elif event.kind == "period_start":
+            self._handle_period_start(event)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown event kind {event.kind!r}")
 
     def _finalise_trace(self) -> None:
         self.trace.messages_dropped = self.network.messages_dropped

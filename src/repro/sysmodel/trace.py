@@ -90,6 +90,14 @@ class SystemRunTrace:
         if process not in self.decisions:
             self.decisions[process] = DecisionRecord(process, value, round, time)
 
+    def record_crash(self, process: ProcessId, time: float) -> None:
+        """Account one applied crash (the engine's TraceRecorder hook)."""
+        self.crashes += 1
+
+    def record_recovery(self, process: ProcessId, time: float) -> None:
+        """Account one applied recovery (the engine's TraceRecorder hook)."""
+        self.recoveries += 1
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #

@@ -14,6 +14,7 @@ from .measure import (
 )
 from .scenarios import (
     FAULT_MODELS,
+    STACKS,
     ScenarioResult,
     compare_stacks,
     run_aguilera,
@@ -33,6 +34,7 @@ __all__ = [
     "measure_theorem7",
     "measure_arbitrary_p2otr",
     "FAULT_MODELS",
+    "STACKS",
     "ScenarioResult",
     "run_ho_stack",
     "run_chandra_toueg",

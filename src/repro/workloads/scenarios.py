@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
+from ..runner.registry import REGISTRY
 from ..algorithms import OneThirdRule
 from ..analysis.consensus_check import ConsensusVerdict, check_consensus
 from ..analysis.metrics import RunMetrics, metrics_from_des, metrics_from_system_trace
@@ -299,21 +300,45 @@ def check_consensus_des(simulator: EventSimulator, values: Sequence[Any], scope)
     )
 
 
+#: the three stacks, in report order, as registered with the runner.
+STACKS = ("ho-stack", "chandra-toueg", "aguilera")
+
+REGISTRY.register_scenario("ho-stack", run_ho_stack)
+REGISTRY.register_scenario("chandra-toueg", run_chandra_toueg)
+REGISTRY.register_scenario("aguilera", run_aguilera)
+
+
 def compare_stacks(
     fault_models: Sequence[str] = FAULT_MODELS,
     n: int = 4,
     seed: int = 0,
+    workers: Optional[int] = None,
 ) -> List[ScenarioResult]:
-    """Run every stack under every fault model (the E8 comparison matrix)."""
+    """Run every stack under every fault model (the E8 comparison matrix).
+
+    The grid goes through the :mod:`repro.runner` sweep executor; pass
+    *workers* > 1 to fan the matrix out over parallel worker processes.
+    """
+    from ..runner.sweep import RunSpec, run_sweep
+
+    specs = [
+        RunSpec.make(stack, fault_model, seed, n=n)
+        for fault_model in fault_models
+        for stack in STACKS
+    ]
+    sweep = run_sweep(specs, workers=workers)
     results: List[ScenarioResult] = []
-    for fault_model in fault_models:
-        results.append(run_ho_stack(fault_model, n=n, seed=seed))
-        results.append(run_chandra_toueg(fault_model, n=n, seed=seed))
-        results.append(run_aguilera(fault_model, n=n, seed=seed))
+    for record in sweep.records:
+        if record.result is None:
+            raise RuntimeError(
+                f"{record.scenario} under {record.fault_model} failed: {record.error}"
+            )
+        results.append(record.result)
     return results
 
 
 __all__ = [
+    "STACKS",
     "FAULT_MODELS",
     "ScenarioResult",
     "run_ho_stack",

@@ -67,10 +67,40 @@ def good_suffix_collections(n: int = N, max_prefix: int = 4):
 
 
 @settings(max_examples=200, deadline=None)
-@given(collection=collections())
-def test_potr_implies_prestrotr(collection):
+@given(collection=good_suffix_collections())
+def test_potr_implies_prestrotr_on_stabilising_runs(collection):
+    """On runs ending in fault-free rounds, ``P_otr`` comes with ``P_restr_otr``.
+
+    The unrestricted implication is *not* a theorem of the finite-trace
+    formulations implemented here: ``P_otr``'s second clause only bounds the
+    *cardinality* of the later heard-of sets (enough for Theorem 1, since a
+    Pi-wide space-uniform round makes every value common), whereas
+    ``P_restr_otr``'s second clause needs the later sets to *contain* Pi0
+    (Theorem 2 gets no help from processes outside Pi0).  See the pinned
+    counterexample below.  On runs with a fault-free suffix -- the shape
+    good periods produce -- both hold together.
+    """
     if POtr().holds(collection):
         assert PRestrOtr().holds(collection)
+
+
+def test_potr_without_prestrotr_counterexample():
+    """Pinned counterexample: large later heard-of sets need not contain Pi0.
+
+    Round 2 is space-uniform for all of Pi (so ``P_otr``'s first clause has
+    Pi0 = Pi), and every process later hears 4 > 2n/3 processes -- but never
+    a superset of Pi0, so no witness for ``P_restr_otr`` exists.
+    """
+    collection = HOCollection(N)
+    full = frozenset(range(N))
+    most = frozenset(range(N - 1))  # {0..3}: large, but never contains process 4
+    for process in range(N):
+        collection.record(process, 1, frozenset())
+        collection.record(process, 2, full)
+        collection.record(process, 3, most if process % 2 else frozenset())
+        collection.record(process, 4, frozenset() if process % 2 else most)
+    assert POtr().holds(collection)
+    assert not PRestrOtr().holds(collection)
 
 
 @settings(max_examples=200, deadline=None)

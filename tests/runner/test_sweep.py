@@ -1,0 +1,157 @@
+"""Tests for the scenario registry and the parallel sweep executor."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.runner import (
+    REGISTRY,
+    RunSpec,
+    build_grid,
+    run_measurement_sweep,
+    run_one,
+    run_sweep,
+)
+from repro.runner.sweep import execute_run
+from repro.workloads import FAULT_MODELS, ScenarioResult
+from repro.workloads.scenarios import STACKS
+
+
+class TestRegistry:
+    def test_scenarios_registered_by_workloads(self):
+        assert set(STACKS) <= set(REGISTRY.scenario_names())
+
+    def test_measurements_registered_by_workloads(self):
+        assert {"theorem3", "theorem5", "theorem6", "theorem7", "corollary4"} <= set(
+            REGISTRY.measurement_names()
+        )
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            REGISTRY.scenario("no-such-stack")
+
+    def test_run_one_returns_scenario_result(self):
+        result = run_one("chandra-toueg", "fault-free", seed=0, n=3)
+        assert isinstance(result, ScenarioResult)
+        assert result.solved
+
+
+class TestGridAndRecords:
+    def test_build_grid_shape_and_order(self):
+        specs = build_grid(["a", "b"], ["x"], [0, 1], n=5)
+        assert [spec.key for spec in specs] == [
+            ("a", "x", 5, 0),
+            ("a", "x", 5, 1),
+            ("b", "x", 5, 0),
+            ("b", "x", 5, 1),
+        ]
+
+    def test_execute_run_flattens_metrics(self):
+        record = execute_run(RunSpec.make("chandra-toueg", "fault-free", seed=0, n=3))
+        assert record.solved and record.safe and record.terminated
+        assert record.decided_processes == record.scope_size == 3
+        assert record.last_decision_time is not None
+        assert record.error is None
+        assert record.result is not None
+
+    def test_execute_run_captures_errors(self):
+        record = execute_run(RunSpec.make("chandra-toueg", "no-such-model", seed=0))
+        assert record.error is not None and "ValueError" in record.error
+        assert not record.solved
+
+
+class TestSweepExecutor:
+    GRID = build_grid(list(STACKS), ["crash-stop"], seeds=[0, 1, 2, 3], n=4)
+
+    def test_parallel_grid_matches_inline_grid(self):
+        """3 scenarios x 4 seeds, in 4 workers: deterministic, seed-stable."""
+        inline = run_sweep(self.GRID, workers=1)
+        parallel = run_sweep(self.GRID, workers=4)
+        assert parallel.workers == 4
+        assert len(parallel.records) == 12
+        # Records come back in grid order with identical outcomes (wall times
+        # and the non-picklable-by-comparison `result` field excluded by
+        # comparing the JSON projections minus wall_seconds).
+        def projection(sweep):
+            rows = []
+            for record in sweep.records:
+                row = record.to_json_dict()
+                row.pop("wall_seconds")
+                rows.append(row)
+            return rows
+
+        assert projection(parallel) == projection(inline)
+        # Aggregates are deterministic (no wall-clock anywhere in them).
+        assert parallel.aggregate() == inline.aggregate()
+
+    def test_aggregate_contents(self):
+        sweep = run_sweep(self.GRID, workers=4)
+        aggregates = sweep.aggregate()
+        assert set(aggregates) == {f"{stack}/crash-stop" for stack in STACKS}
+        for aggregate in aggregates.values():
+            assert aggregate["runs"] == 4
+            assert aggregate["seeds"] == [0, 1, 2, 3]
+            assert aggregate["errors"] == 0
+            assert aggregate["all_safe"] is True
+        # Every stack solves crash-stop (the paper's E8 matrix, row one).
+        assert all(a["solve_rate"] == 1.0 for a in aggregates.values())
+
+    def test_specs_differing_only_in_params_do_not_collide(self):
+        """Parallel results are indexed by grid position, not by spec fields."""
+        specs = [
+            RunSpec.make("chandra-toueg", "fault-free", 0, n=3, stabilization_time=10.0),
+            RunSpec.make("chandra-toueg", "fault-free", 0, n=3, stabilization_time=60.0),
+        ]
+        parallel = run_sweep(specs, workers=2)
+        inline = run_sweep(specs, workers=1)
+        latencies = [record.last_decision_time for record in parallel.records]
+        assert latencies == [record.last_decision_time for record in inline.records]
+        # Two genuinely different runs, not one record duplicated.
+        assert latencies[0] != latencies[1]
+
+    def test_record_for_rejects_ambiguous_lookup(self):
+        specs = [
+            RunSpec.make("chandra-toueg", "fault-free", 0, n=3),
+            RunSpec.make("chandra-toueg", "fault-free", 0, n=4),
+        ]
+        sweep = run_sweep(specs, workers=1)
+        with pytest.raises(KeyError, match="disambiguate"):
+            sweep.record_for("chandra-toueg", "fault-free", 0)
+        assert sweep.record_for("chandra-toueg", "fault-free", 0, n=4).n == 4
+
+    def test_streaming_callback_sees_every_record(self):
+        seen = []
+        run_sweep(self.GRID[:4], workers=2, on_record=seen.append)
+        assert len(seen) == 4
+
+    def test_json_summary_round_trips(self, tmp_path):
+        sweep = run_sweep(self.GRID[:2], workers=1)
+        path = tmp_path / "sub" / "sweep.json"
+        sweep.write_json(str(path))
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == "repro-sweep/1"
+        assert payload["grid_size"] == 2
+        assert len(payload["runs"]) == 2
+        assert set(payload["aggregates"]) == {"ho-stack/crash-stop"}
+        for run in payload["runs"]:
+            assert run["error"] is None
+            assert run["solved"] is True
+
+
+class TestMeasurementSweep:
+    PARAMS = [dict(n=3, x=1, seed=0), dict(n=4, x=1, seed=0)]
+
+    def test_results_in_input_order(self):
+        measurements = run_measurement_sweep("theorem5", self.PARAMS, workers=1)
+        assert [m.n for m in measurements] == [3, 4]
+        for measurement in measurements:
+            assert measurement.within_bound
+
+    def test_parallel_matches_inline(self):
+        inline = run_measurement_sweep("theorem5", self.PARAMS, workers=1)
+        parallel = run_measurement_sweep("theorem5", self.PARAMS, workers=2)
+        assert [(m.n, m.measured, m.bound) for m in inline] == [
+            (m.n, m.measured, m.bound) for m in parallel
+        ]
