@@ -19,7 +19,6 @@ Expected picture (the paper's argument made executable):
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import algorithm_complexity_summary
 from repro.workloads import compare_stacks

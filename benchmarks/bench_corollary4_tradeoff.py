@@ -10,7 +10,6 @@ schedule with two short good periods -- each individually too short for
 
 from __future__ import annotations
 
-import pytest
 
 from repro.algorithms import OneThirdRule
 from repro.predimpl import (

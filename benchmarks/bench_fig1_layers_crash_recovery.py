@@ -10,7 +10,6 @@ and reports safety, termination, decision latency and message counts.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.runner import build_grid, run_sweep
 from repro.workloads import FAULT_MODELS, run_ho_stack

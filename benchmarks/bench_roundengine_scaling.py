@@ -1,0 +1,344 @@
+#!/usr/bin/env python3
+"""Scaling benchmark: the bitmask RoundEngine hot path vs the frozenset loop.
+
+Measures wall-clock seconds per simulated round as ``n`` grows, for two
+workloads, and emits ``BENCH_rounds.json`` so CI can track the perf
+trajectory of the round engine:
+
+* ``census``  -- a minimal HO algorithm whose transition only inspects the
+  *cardinality* of the received view: this isolates the engine overhead
+  (oracle query, heard-of bookkeeping, record churn) that the bitmask
+  representation removes;
+* ``otr``     -- OneThirdRule: a real consensus algorithm whose transition
+  walks the received payloads, showing the speedup with algorithm cost
+  included.
+
+The baseline is a faithful re-implementation of the *pre-refactor* round
+loop (``frozenset`` heard-of sets end to end: a set-native oracle, per-round
+``frozenset(...) & all_processes(n)`` clamping, dict-materialised received
+views, frozenset-carrying records) -- the code path this repository executed
+before the ``repro.rounds`` unification.  The engine side runs the current
+:class:`~repro.core.machine.HOMachine` with ``view="mask"``.
+
+Run directly::
+
+    python benchmarks/bench_roundengine_scaling.py --sizes 16 64 128 --rounds 40
+    python benchmarks/bench_roundengine_scaling.py --check   # equivalence only
+
+The environment is a rotating partition with churn (the dynamic adversary
+family), whose per-query cost is representation-bound -- exactly the
+HO-set churn the bitmask hot path is built to eliminate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, List, Mapping, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.adversaries import RotatingPartitionOracle  # noqa: E402
+from repro.algorithms import OneThirdRule  # noqa: E402
+from repro.core.algorithm import ConsensusAlgorithm  # noqa: E402
+from repro.core.machine import HOMachine  # noqa: E402
+from repro.core.types import ProcessId, Round, all_processes  # noqa: E402
+from repro.engine.rng import SeededRng  # noqa: E402
+
+SCHEMA = "repro-bench-rounds/1"
+
+
+# --------------------------------------------------------------------------- #
+# workloads
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class CensusState:
+    quorum_rounds: int = 0
+
+
+class CensusAlgorithm(ConsensusAlgorithm):
+    """Counts quorum rounds; its transition only needs ``len(received)``.
+
+    The cheapest HO algorithm that still exercises the full engine loop --
+    a pure probe of per-round engine overhead.
+    """
+
+    name = "census"
+
+    def initial_state(self, process: ProcessId, initial_value: Any) -> CensusState:
+        return CensusState()
+
+    def send(self, round: Round, process: ProcessId, state: CensusState) -> int:
+        return state.quorum_rounds
+
+    def transition(
+        self,
+        round: Round,
+        process: ProcessId,
+        state: CensusState,
+        received: Mapping[ProcessId, int],
+    ) -> CensusState:
+        if 3 * len(received) > 2 * self.n:
+            return CensusState(state.quorum_rounds + 1)
+        return state
+
+    def decision(self, state: CensusState) -> Optional[Any]:
+        return None  # runs the full horizon: we are measuring rounds, not latency
+
+
+def make_algorithm(workload: str, n: int) -> ConsensusAlgorithm:
+    if workload == "census":
+        return CensusAlgorithm(n)
+    if workload == "otr":
+        return OneThirdRule(n)
+    raise ValueError(f"unknown workload {workload!r}")
+
+
+def initial_values(n: int) -> List[int]:
+    return [p % 7 for p in range(n)]
+
+
+# --------------------------------------------------------------------------- #
+# the pre-refactor baseline: frozensets end to end
+# --------------------------------------------------------------------------- #
+
+
+class LegacySetPartitionOracle:
+    """The rotating-partition environment, set-native as oracles used to be.
+
+    Mirrors :class:`repro.adversaries.RotatingPartitionOracle` (identical
+    draws from the same ``oracle.partition`` sub-stream, hence identical
+    partitions per seed) but returns per-block ``frozenset`` objects, the
+    pre-refactor oracle representation.
+    """
+
+    def __init__(
+        self, n: int, blocks: int, period: int, churn: float, seed: int,
+        heal_from: Optional[Round] = None,
+    ) -> None:
+        self.n = n
+        self.blocks = blocks
+        self.period = period
+        self.churn = churn
+        self.heal_from = heal_from
+        self._stream = SeededRng(seed).stream("oracle.partition")
+        self._assignments: List[List[int]] = []
+        #: epoch -> per-process block frozenset, precomputed once per epoch
+        #: exactly as the pre-refactor PartitionOracle precomputed _block_of.
+        self._epoch_sets: List[List[FrozenSet[ProcessId]]] = []
+        self._full = frozenset(range(n))
+
+    def _sets_for_epoch(self, epoch: int) -> List[FrozenSet[ProcessId]]:
+        while len(self._epoch_sets) <= epoch:
+            stream = self._stream
+            if not self._assignments:
+                assignment = [stream.randrange(self.blocks) for _ in range(self.n)]
+            else:
+                previous = self._assignments[-1]
+                assignment = [
+                    stream.randrange(self.blocks) if stream.random() < self.churn else block
+                    for block in previous
+                ]
+            self._assignments.append(assignment)
+            block_sets = [
+                frozenset(q for q in range(self.n) if assignment[q] == b)
+                for b in range(self.blocks)
+            ]
+            self._epoch_sets.append([block_sets[block] for block in assignment])
+        return self._epoch_sets[epoch]
+
+    def __call__(self, round: Round, process: ProcessId) -> FrozenSet[ProcessId]:
+        if self.heal_from is not None and round >= self.heal_from:
+            return self._full
+        return self._sets_for_epoch((round - 1) // self.period)[process]
+
+
+@dataclass
+class _LegacyRecord:
+    """The pre-refactor per-round record: carries the frozenset itself."""
+
+    process: ProcessId
+    round: Round
+    ho_set: FrozenSet[ProcessId]
+    state_after: Any
+    decision: Optional[Any]
+    sent_payload: Any = None
+
+
+class LegacyHOMachine:
+    """The pre-refactor HOMachine round loop, reproduced verbatim in shape.
+
+    frozenset heard-of sets, ``frozenset(oracle(...)) & all_processes(n)``
+    clamping per (process, round), dict-materialised received views, a
+    ``{(p, r): frozenset}`` heard-of store and frozenset-carrying records.
+    """
+
+    def __init__(self, algorithm: ConsensusAlgorithm, oracle, values: List[Any]) -> None:
+        self.algorithm = algorithm
+        self.n = algorithm.n
+        self.oracle = oracle
+        self.states = {p: algorithm.initial_state(p, values[p]) for p in range(self.n)}
+        self.ho_store: Dict[Any, FrozenSet[ProcessId]] = {}
+        self.records: List[_LegacyRecord] = []
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self._round = 0
+
+    def run(self, rounds: int) -> None:
+        algorithm = self.algorithm
+        n = self.n
+        for _ in range(rounds):
+            self._round += 1
+            round_number = self._round
+            payloads = {
+                p: algorithm.send(round_number, p, self.states[p]) for p in range(n)
+            }
+            self.messages_sent += n * n
+            ho_sets = {}
+            for p in range(n):
+                requested = frozenset(self.oracle(round_number, p))
+                ho_sets[p] = requested & all_processes(n)
+            for p in range(n):
+                received = {q: payloads[q] for q in ho_sets[p]}
+                self.messages_delivered += len(received)
+                new_state = algorithm.transition(round_number, p, self.states[p], received)
+                self.states[p] = new_state
+                self.ho_store[(p, round_number)] = ho_sets[p]
+                self.records.append(
+                    _LegacyRecord(
+                        process=p,
+                        round=round_number,
+                        ho_set=ho_sets[p],
+                        state_after=new_state,
+                        decision=algorithm.decision(new_state),
+                        sent_payload=payloads[p],
+                    )
+                )
+
+
+# --------------------------------------------------------------------------- #
+# harness
+# --------------------------------------------------------------------------- #
+
+ORACLE_BLOCKS = 3
+ORACLE_PERIOD = 5
+ORACLE_CHURN = 0.3
+
+
+def run_engine(workload: str, n: int, rounds: int, seed: int) -> HOMachine:
+    oracle = RotatingPartitionOracle(
+        n, blocks=ORACLE_BLOCKS, period=ORACLE_PERIOD, churn=ORACLE_CHURN, seed=seed
+    )
+    # Cardinality-only transitions profit from the zero-copy mask view;
+    # payload-walking transitions want the materialised dict.
+    view = "mask" if workload == "census" else "dict"
+    machine = HOMachine(make_algorithm(workload, n), oracle, initial_values(n), view=view)
+    machine.run(rounds)
+    return machine
+
+
+def run_legacy(workload: str, n: int, rounds: int, seed: int) -> LegacyHOMachine:
+    oracle = LegacySetPartitionOracle(
+        n, blocks=ORACLE_BLOCKS, period=ORACLE_PERIOD, churn=ORACLE_CHURN, seed=seed
+    )
+    machine = LegacyHOMachine(make_algorithm(workload, n), oracle, initial_values(n))
+    machine.run(rounds)
+    return machine
+
+
+def check_equivalence(n: int = 16, rounds: int = 20, seed: int = 7) -> None:
+    """Both paths must execute the same run: same HO sets, same states."""
+    for workload in ("census", "otr"):
+        engine = run_engine(workload, n, rounds, seed)
+        legacy = run_legacy(workload, n, rounds, seed)
+        for p in range(n):
+            for r in range(1, rounds + 1):
+                assert engine.trace.ho_collection.ho(p, r) == legacy.ho_store[(p, r)], (
+                    f"HO set mismatch at ({p}, {r}) for {workload}"
+                )
+            assert engine.state(p) == legacy.states[p], f"state mismatch at {p} for {workload}"
+        assert engine.trace.messages_delivered == legacy.messages_delivered
+    print("equivalence: engine and legacy baselines execute identical runs")
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def benchmark(sizes: List[int], rounds: int, repeats: int, seed: int) -> Dict[str, Any]:
+    results = []
+    for workload in ("census", "otr"):
+        for n in sizes:
+            legacy_seconds = _best_of(lambda: run_legacy(workload, n, rounds, seed), repeats)
+            engine_seconds = _best_of(lambda: run_engine(workload, n, rounds, seed), repeats)
+            speedup = legacy_seconds / engine_seconds if engine_seconds > 0 else float("inf")
+            results.append(
+                {
+                    "workload": workload,
+                    "n": n,
+                    "rounds": rounds,
+                    "legacy_seconds": round(legacy_seconds, 6),
+                    "engine_seconds": round(engine_seconds, 6),
+                    "speedup": round(speedup, 3),
+                }
+            )
+            print(
+                f"{workload:<7} n={n:<5} rounds={rounds:<5} "
+                f"legacy={legacy_seconds * 1e3:8.2f}ms engine={engine_seconds * 1e3:8.2f}ms "
+                f"speedup={speedup:5.2f}x"
+            )
+    return {
+        "schema": SCHEMA,
+        "oracle": {
+            "family": "rotating-partition",
+            "blocks": ORACLE_BLOCKS,
+            "period": ORACLE_PERIOD,
+            "churn": ORACLE_CHURN,
+        },
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[16, 32, 64, 128, 256],
+        help="system sizes to sweep (default: 16 32 64 128 256)",
+    )
+    parser.add_argument("--rounds", type=int, default=40, help="rounds per run (default: 40)")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of (default: 3)")
+    parser.add_argument("--seed", type=int, default=0, help="oracle seed (default: 0)")
+    parser.add_argument(
+        "--json", default="BENCH_rounds.json", help="output path (default: BENCH_rounds.json)"
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="only verify engine/legacy equivalence and exit"
+    )
+    args = parser.parse_args(argv)
+
+    check_equivalence()
+    if args.check:
+        return 0
+
+    payload = benchmark(args.sizes, args.rounds, args.repeats, args.seed)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

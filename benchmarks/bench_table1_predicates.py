@@ -13,7 +13,6 @@ safety held, and whether termination was reached.  The paper's claims:
 
 from __future__ import annotations
 
-import pytest
 
 from repro.algorithms import LastVoting, OneThirdRule, UniformVoting
 from repro.analysis import check_consensus

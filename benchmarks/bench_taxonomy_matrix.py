@@ -9,7 +9,6 @@ uniformly, because they are phrased in terms of transmission faults.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.analysis import (
     FaultClass,

@@ -12,7 +12,6 @@ Claims checked: measured <= bound for every point; both scale linearly in
 
 from __future__ import annotations
 
-import pytest
 
 from repro.runner import run_measurement_sweep
 

@@ -9,7 +9,6 @@ and ``delta`` and compares the measured good-period length against
 
 from __future__ import annotations
 
-import pytest
 
 from repro.runner import run_measurement_sweep
 

@@ -7,7 +7,6 @@ good period starts at time 0 and every process starts in round 1.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.predimpl import theorem6_good_period_length, theorem7_initial_good_period_length
 from repro.runner import run_measurement_sweep

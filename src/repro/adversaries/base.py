@@ -1,0 +1,141 @@
+"""Oracle base classes and the shared randomness plumbing.
+
+In the HO model the environment is fully described by the heard-of sets it
+produces.  An *oracle* decides, for every round and every receiving process,
+the set of senders whose round-``r`` message actually arrives.  Oracles are
+the round-level counterpart of fault injection: crashes, omissions, link
+losses and partitions all reduce to removing senders from heard-of sets.
+
+Two base classes exist, one per native representation:
+
+* :class:`HOOracleBase` -- set-native: subclasses implement
+  :meth:`~HOOracleBase.ho_set`; a generic :meth:`~HOOracleBase.ho_mask` is
+  derived.  This keeps third-party set-based oracles trivial to write.
+* :class:`MaskOracleBase` -- mask-native: subclasses implement
+  :meth:`~HOOracleBase.ho_mask` over integer bitmasks
+  (:mod:`repro.rounds.bitmask`); ``ho_set`` is derived.  Every oracle
+  shipped in :mod:`repro.adversaries` is mask-native, so the round engine's
+  hot path never builds a set object per (process, round).
+
+All oracle randomness flows through named
+:class:`~repro.engine.rng.SeededRng` sub-streams (``oracle.loss``,
+``oracle.partition``, ...), never through private ``random.Random(seed)``
+instances: one run seed controls every layer, and draws on one concern
+(say, link loss) can never perturb another (say, partition churn).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Optional
+
+from ..core.types import HOSet, ProcessId, Round, all_processes
+from ..engine.rng import SeededRng
+from ..rounds.bitmask import full_mask, mask_of, mask_to_frozenset
+
+#: The callable shape every oracle satisfies (same as repro.core.machine.HOOracle).
+HOOracle = Callable[[Round, ProcessId], Iterable[ProcessId]]
+
+
+def oracle_rng(seed: int = 0, rng: Optional[SeededRng] = None) -> SeededRng:
+    """The :class:`SeededRng` an oracle draws from.
+
+    Oracles accept either a plain *seed* (convenient at call sites) or a
+    shared *rng* (so a scenario can hand one master ``SeededRng`` to the
+    simulator, the fault injector and every oracle, putting the whole run
+    under a single seed).  The *rng* takes precedence.
+    """
+    return rng if rng is not None else SeededRng(seed)
+
+
+class HOOracleBase:
+    """Base class for set-native heard-of oracles.
+
+    An oracle is a callable ``(round, process) -> iterable of processes``.
+    Subclasses implement :meth:`ho_set`; the base class handles bounds and
+    derives the bitmask form used by the round engine's hot path.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"number of processes must be positive, got {n}")
+        self.n = n
+        self._full = full_mask(n)
+
+    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
+        raise NotImplementedError
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        """``HO(process, round)`` as a bitmask, clamped to Pi."""
+        return mask_of(q for q in self.ho_set(round, process) if 0 <= q < self.n)
+
+    def __call__(self, round: Round, process: ProcessId) -> HOSet:
+        return frozenset(self.ho_set(round, process)) & all_processes(self.n)
+
+
+class MaskOracleBase(HOOracleBase):
+    """Base class for mask-native heard-of oracles (the hot path).
+
+    Subclasses implement :meth:`ho_mask`; ``ho_set`` and the callable form
+    are derived, so mask-native oracles remain drop-in compatible with any
+    set-based consumer.
+    """
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        raise NotImplementedError
+
+    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
+        return mask_to_frozenset(self.ho_mask(round, process) & self._full)
+
+    def __call__(self, round: Round, process: ProcessId) -> HOSet:
+        return self.ho_set(round, process)
+
+
+class OracleAdapter(MaskOracleBase):
+    """Wrap a plain ``(round, process) -> iterable`` callable as an oracle.
+
+    Combinators accept arbitrary callables by adapting them through this
+    class; the callable's output is clamped to Pi.
+    """
+
+    def __init__(self, n: int, fn: HOOracle) -> None:
+        super().__init__(n)
+        self._fn = fn
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        return mask_of(q for q in self._fn(round, process) if 0 <= q < self.n)
+
+
+def ensure_oracle(oracle: HOOracle, n: int) -> HOOracleBase:
+    """Return *oracle* itself if it is an :class:`HOOracleBase` of size *n*, else adapt it."""
+    if isinstance(oracle, HOOracleBase):
+        if oracle.n != n:
+            raise ValueError(f"oracle is sized for n={oracle.n}, expected n={n}")
+        return oracle
+    return OracleAdapter(n, oracle)
+
+
+def bernoulli_mask(stream: random.Random, n: int, probability: float) -> int:
+    """A mask in which each of the *n* bits is set independently with *probability*.
+
+    Draws exactly *n* uniforms in ascending bit order, so layouts are stable
+    under seed replay regardless of the caller's representation.
+    """
+    mask = 0
+    bit = 1
+    for _ in range(n):
+        if stream.random() < probability:
+            mask |= bit
+        bit <<= 1
+    return mask
+
+
+__all__ = [
+    "HOOracle",
+    "HOOracleBase",
+    "MaskOracleBase",
+    "OracleAdapter",
+    "ensure_oracle",
+    "oracle_rng",
+    "bernoulli_mask",
+]

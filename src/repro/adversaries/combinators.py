@@ -1,0 +1,153 @@
+"""Oracle combinators: a small algebra over heard-of environments.
+
+Because every benign fault is just an absence from a heard-of set, fault
+models *compose* by set algebra on the heard-of sets themselves:
+
+* :class:`IntersectOracle` -- both adversaries act: a sender is heard only
+  if every component hears it (composition of fault models: the union of
+  the faults);
+* :class:`UnionOracle` -- either environment suffices: a sender is heard if
+  any component hears it (composition of guarantees);
+* :class:`SequenceOracle` -- phase scripting: run each component for a fixed
+  number of rounds, then move to the next (bad period, then good period,
+  then churn, ...);
+* :class:`WindowSwitchOracle` -- per-window switching: rotate through a set
+  of components every *window* rounds, forever.
+
+All combinators work on bitmasks end-to-end, accept any oracle callable
+(plain callables are adapted), and are themselves oracles -- so they nest:
+``IntersectOracle(n, SequenceOracle(n, ...), RandomOmissionOracle(n, ...))``
+is a perfectly good environment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.types import ProcessId, Round
+from .base import HOOracle, HOOracleBase, MaskOracleBase, ensure_oracle
+
+
+def _adapt_all(n: int, oracles: Sequence[HOOracle]) -> List[HOOracleBase]:
+    if not oracles:
+        raise ValueError("at least one component oracle is required")
+    return [ensure_oracle(oracle, n) for oracle in oracles]
+
+
+class IntersectOracle(MaskOracleBase):
+    """Hear a sender only if *every* component environment delivers it.
+
+    This is how independent fault models compose: a static-crash oracle
+    intersected with a bursty-loss oracle yields an environment with both
+    crashes and bursts.
+    """
+
+    def __init__(self, n: int, *oracles: HOOracle) -> None:
+        super().__init__(n)
+        self.oracles = _adapt_all(n, oracles)
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        mask = self._full
+        for oracle in self.oracles:
+            mask &= oracle.ho_mask(round, process)
+            if not mask:
+                break
+        return mask
+
+
+class UnionOracle(MaskOracleBase):
+    """Hear a sender if *any* component environment delivers it.
+
+    Useful for modelling redundant channels (a message arrives if any path
+    survives) and for weakening an adversary in controlled steps.
+    """
+
+    def __init__(self, n: int, *oracles: HOOracle) -> None:
+        super().__init__(n)
+        self.oracles = _adapt_all(n, oracles)
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        mask = 0
+        for oracle in self.oracles:
+            mask |= oracle.ho_mask(round, process)
+            if mask == self._full:
+                break
+        return mask & self._full
+
+
+class SequenceOracle(MaskOracleBase):
+    """Run each component oracle for a fixed number of rounds, in sequence.
+
+    *segments* is a sequence of ``(oracle, rounds)`` pairs; ``rounds`` may
+    be ``None`` only for the final segment, meaning "forever".  Component
+    oracles see *local* round numbers (rebased to start at 1), so a segment
+    behaves exactly as its oracle would from a fresh start -- e.g. a
+    ``StaticCrashOracle(n, {p: 1})`` segment of length 5 models a crash that
+    lasts 5 rounds, and a trailing ``FaultFreeOracle`` models recovery.
+
+    Queries past the last finite segment fall through to the final segment.
+    """
+
+    def __init__(
+        self, n: int, segments: Sequence[Tuple[HOOracle, Optional[int]]]
+    ) -> None:
+        super().__init__(n)
+        if not segments:
+            raise ValueError("at least one segment is required")
+        starts: List[Round] = []
+        oracles: List[HOOracleBase] = []
+        start = 1
+        for index, (oracle, rounds) in enumerate(segments):
+            if rounds is None and index != len(segments) - 1:
+                raise ValueError("only the final segment may be open-ended (rounds=None)")
+            if rounds is not None and rounds <= 0:
+                raise ValueError(f"segment lengths must be positive, got {rounds}")
+            starts.append(start)
+            oracles.append(ensure_oracle(oracle, n))
+            if rounds is not None:
+                start += rounds
+        self._starts = starts
+        self._oracles = oracles
+
+    def _segment_for(self, round: Round) -> Tuple[HOOracleBase, Round]:
+        index = len(self._starts) - 1
+        while index > 0 and round < self._starts[index]:
+            index -= 1
+        return self._oracles[index], round - self._starts[index] + 1
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        oracle, local_round = self._segment_for(round)
+        return oracle.ho_mask(local_round, process) & self._full
+
+
+class WindowSwitchOracle(MaskOracleBase):
+    """Per-window switching: rotate through component oracles every *window* rounds.
+
+    Rounds ``1..window`` use the first component, ``window+1..2*window`` the
+    second, and so on, wrapping around forever.  Components see local round
+    numbers within their window occurrence, counted per visit, so a
+    component behaves identically on every visit -- this models environments
+    that *churn* between regimes (e.g. alternating partitions) rather than
+    ones that settle.
+    """
+
+    def __init__(self, n: int, oracles: Sequence[HOOracle], window: int = 1) -> None:
+        super().__init__(n)
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self.oracles = _adapt_all(n, oracles)
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        epoch = (round - 1) // self.window
+        local = (round - 1) % self.window + 1
+        oracle = self.oracles[epoch % len(self.oracles)]
+        return oracle.ho_mask(local, process) & self._full
+
+
+__all__ = [
+    "IntersectOracle",
+    "UnionOracle",
+    "SequenceOracle",
+    "WindowSwitchOracle",
+]

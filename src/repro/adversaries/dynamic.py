@@ -1,0 +1,309 @@
+"""Dynamic and transient adversary families: churn, bursts, mobility.
+
+The classic zoo (:mod:`repro.adversaries.classic`) covers static and
+memoryless fault models.  Real disruption-tolerant systems -- mobile ad-hoc
+networks, delay-tolerant store-and-forward meshes -- exhibit *structured*
+dynamics: faults that move, partitions that rotate with churn, losses that
+come in bursts, leaders that eventually stabilise.  The families below make
+those environments expressible at the heard-of level:
+
+* :class:`MobileOmissionOracle` -- at most *faults* senders are silenced per
+  round, and the silenced set moves (Santoro-Widmayer-style mobile
+  transmission faults);
+* :class:`RotatingPartitionOracle` -- the network is partitioned into
+  blocks; the partition is redrawn every *period* rounds with per-process
+  churn;
+* :class:`BurstyLossOracle` -- per-link Gilbert-Elliott loss: each directed
+  link flips between a good and a bursty state, so losses cluster in time
+  instead of being independent;
+* :class:`EventuallyStableCoordinatorOracle` -- before stabilisation, a
+  changing pretender coordinator is heard unreliably; from *stable_from* on
+  the system behaves synchronously (the round-level shape of an
+  eventually-stable leader).
+
+All are mask-native, memoise per (round, process), support an eventual
+stabilisation round (so liveness experiments terminate), and draw from
+named :class:`~repro.engine.rng.SeededRng` sub-streams (``oracle.mobile``,
+``oracle.partition``, ``oracle.burst``, ``oracle.coordinator``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.types import ProcessId, Round
+from ..engine.rng import SeededRng
+from ..rounds.bitmask import mask_of
+from .base import MaskOracleBase, bernoulli_mask, oracle_rng
+
+
+class MobileOmissionOracle(MaskOracleBase):
+    """Mobile omission faults: up to *faults* senders are silenced per round.
+
+    Every round, a fresh set of *faults* processes is drawn from the
+    ``oracle.mobile`` sub-stream; their round messages are lost at every
+    receiver (send omission), while every other transmission arrives.  The
+    faulty set *moves*: over time every process is hit, but never more than
+    *faults* of them in any single round -- the classic mobile-failure
+    adversary, which no static crash model can express.
+
+    From *stable_from* on (if given) no faults occur, so runs eventually
+    satisfy any good-period predicate.  Receivers always hear themselves.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        faults: int = 1,
+        seed: int = 0,
+        stable_from: Optional[Round] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(n)
+        if not 0 <= faults <= n:
+            raise ValueError(f"faults must be in 0..{n}, got {faults}")
+        self.faults = faults
+        self.stable_from = stable_from
+        self._stream = oracle_rng(seed, rng).stream("oracle.mobile")
+        self._silenced: Dict[Round, int] = {}
+
+    def _silenced_mask(self, round: Round) -> int:
+        mask = self._silenced.get(round)
+        if mask is None:
+            mask = mask_of(self._stream.sample(range(self.n), self.faults))
+            self._silenced[round] = mask
+        return mask
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        if self.stable_from is not None and round >= self.stable_from:
+            return self._full
+        if self.faults == 0:
+            return self._full
+        return (self._full & ~self._silenced_mask(round)) | (1 << process)
+
+
+class RotatingPartitionOracle(MaskOracleBase):
+    """A partition that is redrawn every *period* rounds, with churn.
+
+    The process set is split into *blocks* blocks.  Every *period* rounds a
+    new epoch starts: each process keeps its block with probability
+    ``1 - churn`` and otherwise moves to a uniformly random block (drawn
+    from the ``oracle.partition`` sub-stream).  ``churn=1.0`` reshuffles the
+    partition completely each epoch; ``churn=0.0`` freezes the initial
+    random partition.  Within an epoch, a process hears exactly its block
+    (which always contains itself).
+
+    From *heal_from* on (if given) the partition heals and communication is
+    fault free.  This is the round-level shape of the partition-heavy,
+    churning link dynamics of disruption-tolerant networks.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        blocks: int = 2,
+        period: int = 5,
+        churn: float = 0.2,
+        seed: int = 0,
+        heal_from: Optional[Round] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(n)
+        if blocks <= 0:
+            raise ValueError(f"blocks must be positive, got {blocks}")
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        if not 0.0 <= churn <= 1.0:
+            raise ValueError(f"churn must be in [0, 1], got {churn}")
+        self.blocks = blocks
+        self.period = period
+        self.churn = churn
+        self.heal_from = heal_from
+        self._stream = oracle_rng(seed, rng).stream("oracle.partition")
+        #: epoch -> per-process block assignment; epochs are computed in
+        #: order so that draws are reproducible regardless of query order.
+        self._assignments: List[List[int]] = []
+        #: epoch -> per-process block mask, precomputed once per epoch so
+        #: that ho_mask is a list lookup (the bitmask hot path).
+        self._epoch_masks: List[List[int]] = []
+
+    def _masks_for_epoch(self, epoch: int) -> List[int]:
+        while len(self._epoch_masks) <= epoch:
+            stream = self._stream
+            if not self._assignments:
+                assignment = [stream.randrange(self.blocks) for _ in range(self.n)]
+            else:
+                previous = self._assignments[-1]
+                assignment = [
+                    stream.randrange(self.blocks) if stream.random() < self.churn else block
+                    for block in previous
+                ]
+            self._assignments.append(assignment)
+            block_masks = [0] * self.blocks
+            for q, block in enumerate(assignment):
+                block_masks[block] |= 1 << q
+            self._epoch_masks.append([block_masks[block] for block in assignment])
+        return self._epoch_masks[epoch]
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        if self.heal_from is not None and round >= self.heal_from:
+            return self._full
+        return self._masks_for_epoch((round - 1) // self.period)[process]
+
+
+class BurstyLossOracle(MaskOracleBase):
+    """Per-link Gilbert-Elliott loss: bursts, not independent coin flips.
+
+    Each directed link (sender -> receiver) carries a two-state Markov
+    chain: in the *good* state a transmission is lost with probability
+    *loss_good* (default 0), in the *burst* state with probability
+    *loss_burst* (default 1).  Per round, a good link enters a burst with
+    probability *p_burst* and a bursty link recovers with probability
+    *p_recover* -- so the expected burst length is ``1 / p_recover`` rounds,
+    and losses cluster the way interference and congestion actually behave.
+
+    All draws come from the ``oracle.burst`` sub-stream; link states advance
+    round by round in a fixed order, so any query order replays identically.
+    From *stable_from* on (if given) all links are forced good and lossless.
+    Receivers always hear themselves.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        p_burst: float = 0.1,
+        p_recover: float = 0.3,
+        loss_burst: float = 1.0,
+        loss_good: float = 0.0,
+        seed: int = 0,
+        stable_from: Optional[Round] = None,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(n)
+        for name, value in (
+            ("p_burst", p_burst),
+            ("p_recover", p_recover),
+            ("loss_burst", loss_burst),
+            ("loss_good", loss_good),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.p_burst = p_burst
+        self.p_recover = p_recover
+        self.loss_burst = loss_burst
+        self.loss_good = loss_good
+        self.stable_from = stable_from
+        self._stream = oracle_rng(seed, rng).stream("oracle.burst")
+        #: bursty-link masks per receiver, advanced one round at a time:
+        #: ``_burst_state[p]`` has bit q set iff link q -> p is in a burst.
+        self._burst_state: List[int] = [0] * n
+        self._computed_round: Round = 0
+        self._memo: Dict[Tuple[Round, ProcessId], int] = {}
+
+    def _advance_to(self, round: Round) -> None:
+        while self._computed_round < round:
+            self._computed_round += 1
+            current = self._computed_round
+            stream = self._stream
+            for p in range(self.n):
+                state = self._burst_state[p]
+                new_state = 0
+                heard = 0
+                bit = 1
+                for q in range(self.n):
+                    if state & bit:
+                        bursty = stream.random() >= self.p_recover
+                    else:
+                        bursty = stream.random() < self.p_burst
+                    if bursty:
+                        new_state |= bit
+                    loss = self.loss_burst if bursty else self.loss_good
+                    if q == p or stream.random() >= loss:
+                        heard |= bit
+                    bit <<= 1
+                self._burst_state[p] = new_state
+                self._memo[(current, p)] = heard
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        if self.stable_from is not None and round >= self.stable_from:
+            return self._full
+        self._advance_to(round)
+        return self._memo[(round, process)]
+
+
+class EventuallyStableCoordinatorOracle(MaskOracleBase):
+    """A coordinator that keeps changing until the system stabilises.
+
+    Before *stable_from*, each round has a *pretender* coordinator drawn
+    from the ``oracle.coordinator`` sub-stream; every process hears the
+    pretender with probability ``1 - flaky_probability``, itself always, and
+    each other process with probability *background_probability* -- the
+    round-level shape of an unreliable leader-election phase.  From
+    *stable_from* on, communication is fault free (and :meth:`coordinator`
+    reports the fixed *stable_coordinator*), which is exactly the
+    eventually-stable-leader assumption coordinated algorithms such as
+    LastVoting thrive on.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        stable_from: Round,
+        stable_coordinator: ProcessId = 0,
+        flaky_probability: float = 0.3,
+        background_probability: float = 0.4,
+        seed: int = 0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(n)
+        if stable_from <= 0:
+            raise ValueError(f"stable_from must be >= 1, got {stable_from}")
+        if not 0 <= stable_coordinator < n:
+            raise ValueError(f"stable_coordinator outside 0..{n - 1}")
+        for name, value in (
+            ("flaky_probability", flaky_probability),
+            ("background_probability", background_probability),
+        ):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self.stable_from = stable_from
+        self.stable_coordinator = stable_coordinator
+        self.flaky_probability = flaky_probability
+        self.background_probability = background_probability
+        self._stream = oracle_rng(seed, rng).stream("oracle.coordinator")
+        self._pretenders: Dict[Round, ProcessId] = {}
+        self._memo: Dict[Tuple[Round, ProcessId], int] = {}
+
+    def coordinator(self, round: Round) -> ProcessId:
+        """The coordinator of *round*: the pretender before stabilisation, fixed after."""
+        if round >= self.stable_from:
+            return self.stable_coordinator
+        pretender = self._pretenders.get(round)
+        if pretender is None:
+            pretender = self._stream.randrange(self.n)
+            self._pretenders[round] = pretender
+        return pretender
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        if round >= self.stable_from:
+            return self._full
+        key = (round, process)
+        mask = self._memo.get(key)
+        if mask is None:
+            pretender = self.coordinator(round)
+            mask = bernoulli_mask(self._stream, self.n, self.background_probability)
+            if self._stream.random() >= self.flaky_probability:
+                mask |= 1 << pretender
+            else:
+                mask &= ~(1 << pretender)
+            mask |= 1 << process
+            self._memo[key] = mask
+        return mask
+
+
+__all__ = [
+    "MobileOmissionOracle",
+    "RotatingPartitionOracle",
+    "BurstyLossOracle",
+    "EventuallyStableCoordinatorOracle",
+]

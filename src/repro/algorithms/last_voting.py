@@ -19,7 +19,7 @@ exercises both algorithms under the same collections.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Mapping, Optional, Tuple
+from typing import Any, Mapping, Optional
 
 from ..core.algorithm import ConsensusAlgorithm
 from ..core.types import ProcessId, Round

@@ -1,13 +1,15 @@
 """Analysis layer: fault taxonomy, consensus checking and run metrics."""
 
-from .consensus_check import ConsensusVerdict, check_consensus
+from .consensus_check import ConsensusVerdict, DecidingTrace, check_consensus
 from .metrics import (
     AlgorithmComplexity,
     RunMetrics,
+    UnifiedTrace,
     algorithm_complexity_summary,
     metrics_from_des,
     metrics_from_ho_trace,
     metrics_from_system_trace,
+    metrics_from_trace,
 )
 from .taxonomy import (
     APPLICABILITY,
@@ -20,8 +22,11 @@ from .taxonomy import (
 
 __all__ = [
     "ConsensusVerdict",
+    "DecidingTrace",
     "check_consensus",
     "RunMetrics",
+    "UnifiedTrace",
+    "metrics_from_trace",
     "metrics_from_ho_trace",
     "metrics_from_system_trace",
     "metrics_from_des",

@@ -14,11 +14,21 @@ step-level :class:`~repro.sysmodel.trace.SystemRunTrace` of the simulator.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Protocol, Sequence
 
-from ..core.types import ProcessId, RunTrace
-from ..sysmodel.trace import SystemRunTrace
+from ..core.types import ProcessId
+
+
+class DecidingTrace(Protocol):
+    """What the checker needs from a trace: who decided what.
+
+    Both trace classes implement ``decision_values`` through the unified
+    per-round record schema of :mod:`repro.rounds.record`, so the checker is
+    agnostic about which execution layer produced the run.
+    """
+
+    def decision_values(self) -> Dict[ProcessId, Any]: ...
 
 
 @dataclass(frozen=True)
@@ -42,14 +52,8 @@ class ConsensusVerdict:
         return self.safe and self.termination
 
 
-def _decisions_of(trace: Union[RunTrace, SystemRunTrace]) -> Dict[ProcessId, Any]:
-    if isinstance(trace, SystemRunTrace):
-        return dict(trace.decision_values())
-    return dict(trace.decisions())
-
-
 def check_consensus(
-    trace: Union[RunTrace, SystemRunTrace],
+    trace: DecidingTrace,
     initial_values: Sequence[Any] | Mapping[ProcessId, Any],
     scope: Optional[Iterable[ProcessId]] = None,
 ) -> ConsensusVerdict:
@@ -63,7 +67,7 @@ def check_consensus(
         values = dict(initial_values)
     else:
         values = dict(enumerate(initial_values))
-    decisions = _decisions_of(trace)
+    decisions = dict(trace.decision_values())
     violations: List[str] = []
 
     allowed = set(values.values())
@@ -95,4 +99,4 @@ def check_consensus(
     )
 
 
-__all__ = ["ConsensusVerdict", "check_consensus"]
+__all__ = ["ConsensusVerdict", "DecidingTrace", "check_consensus"]

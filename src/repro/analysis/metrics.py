@@ -13,11 +13,29 @@ Two kinds of measurements back the benchmark reports:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Mapping, Optional, Union
+from typing import Dict, Iterable, Optional, Protocol
 
-from ..core.types import ProcessId, RunTrace
+from ..core.types import DecisionRecord, ProcessId
 from ..des.simulator import EventSimulator
-from ..sysmodel.trace import SystemRunTrace
+
+
+class UnifiedTrace(Protocol):
+    """What the metrics layer needs from a trace, regardless of its producer.
+
+    Both :class:`repro.core.types.RunTrace` (round-level) and
+    :class:`repro.sysmodel.trace.SystemRunTrace` (step-level) implement this:
+    the unified per-round record schema of :mod:`repro.rounds.record` gives
+    every executed round a decision slot and a time, so one metrics
+    extractor serves both layers.
+    """
+
+    @property
+    def n(self) -> int: ...
+
+    @property
+    def messages_sent(self) -> int: ...
+
+    def decision_records(self) -> Dict[ProcessId, DecisionRecord]: ...
 
 
 @dataclass(frozen=True)
@@ -38,29 +56,18 @@ class RunMetrics:
         return self.decided_processes >= self.scope_size
 
 
-def metrics_from_ho_trace(trace: RunTrace, scope: Optional[Iterable[ProcessId]] = None) -> RunMetrics:
-    """Metrics of a round-level HO-machine run (time is measured in rounds)."""
-    scope_set = set(range(trace.n)) if scope is None else set(scope)
-    decisions = {p: v for p, v in trace.decisions().items() if p in scope_set}
-    rounds = {p: r for p, r in trace.decision_rounds().items() if p in scope_set}
-    return RunMetrics(
-        decided_processes=len(decisions),
-        scope_size=len(scope_set),
-        unanimous=len(set(decisions.values())) <= 1,
-        first_decision_time=float(min(rounds.values())) if rounds else None,
-        last_decision_time=float(max(rounds.values())) if rounds else None,
-        first_decision_round=min(rounds.values()) if rounds else None,
-        last_decision_round=max(rounds.values()) if rounds else None,
-        messages_sent=trace.messages_sent,
-    )
-
-
-def metrics_from_system_trace(
-    trace: SystemRunTrace, scope: Optional[Iterable[ProcessId]] = None
+def metrics_from_trace(
+    trace: UnifiedTrace, scope: Optional[Iterable[ProcessId]] = None
 ) -> RunMetrics:
-    """Metrics of a step-level simulator run (time is normalised simulated time)."""
+    """Metrics of any unified-schema trace.
+
+    Time is whatever the producing layer recorded: the round number for
+    round-level runs, normalised simulated time for step-level runs.
+    """
     scope_set = set(range(trace.n)) if scope is None else set(scope)
-    decisions = {p: record for p, record in trace.decisions.items() if p in scope_set}
+    decisions = {
+        p: record for p, record in trace.decision_records().items() if p in scope_set
+    }
     times = [record.time for record in decisions.values()]
     rounds = [record.round for record in decisions.values()]
     return RunMetrics(
@@ -73,6 +80,11 @@ def metrics_from_system_trace(
         last_decision_round=max(rounds) if rounds else None,
         messages_sent=trace.messages_sent,
     )
+
+
+#: Backwards-compatible names: both layers now share one extractor.
+metrics_from_ho_trace = metrics_from_trace
+metrics_from_system_trace = metrics_from_trace
 
 
 def metrics_from_des(
@@ -151,6 +163,8 @@ def algorithm_complexity_summary() -> Dict[str, AlgorithmComplexity]:
 
 __all__ = [
     "RunMetrics",
+    "UnifiedTrace",
+    "metrics_from_trace",
     "metrics_from_ho_trace",
     "metrics_from_system_trace",
     "metrics_from_des",

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional
+from typing import Dict, FrozenSet
 
 from ..core.types import ProcessId
 from ..sysmodel.faults import FaultKind, FaultSchedule

@@ -11,17 +11,6 @@ The subpackage implements the paper's primary abstraction (Section 3):
 """
 
 from .algorithm import ConsensusAlgorithm, HOAlgorithm
-from .adversary import (
-    FaultFreeOracle,
-    GoodPeriodOracle,
-    HOOracleBase,
-    KernelOnlyOracle,
-    PartitionOracle,
-    RandomOmissionOracle,
-    ScriptedOracle,
-    SilentRoundsOracle,
-    StaticCrashOracle,
-)
 from .machine import HOMachine, HOOracle, run_ho_algorithm
 from .predicates import (
     And,
@@ -49,12 +38,14 @@ from .predicates import (
     psu_holds,
 )
 from .types import (
+    DecisionRecord,
     HOCollection,
     HOSet,
     ProcessId,
     ProcessRoundRecord,
     Round,
     RoundMessage,
+    RoundRecord,
     RunTrace,
     all_processes,
     validate_process_subset,
@@ -68,6 +59,8 @@ __all__ = [
     "RoundMessage",
     "HOCollection",
     "ProcessRoundRecord",
+    "RoundRecord",
+    "DecisionRecord",
     "RunTrace",
     "all_processes",
     "validate_process_subset",
@@ -102,8 +95,9 @@ __all__ = [
     "find_psu_window",
     "find_pk_window",
     "otr_threshold",
-    # oracles
+    # oracles (lazily re-exported from repro.adversaries, see __getattr__)
     "HOOracleBase",
+    "MaskOracleBase",
     "FaultFreeOracle",
     "StaticCrashOracle",
     "RandomOmissionOracle",
@@ -113,3 +107,30 @@ __all__ = [
     "GoodPeriodOracle",
     "KernelOnlyOracle",
 ]
+
+#: Oracle names re-exported from :mod:`repro.adversaries`.  The re-export is
+#: lazy (PEP 562) so that ``repro.core`` never imports the adversary package
+#: at module-import time -- the adversaries themselves build on
+#: ``repro.core.types``, and an eager import here would close a cycle.
+_ADVERSARY_EXPORTS = frozenset(
+    {
+        "HOOracleBase",
+        "MaskOracleBase",
+        "FaultFreeOracle",
+        "StaticCrashOracle",
+        "RandomOmissionOracle",
+        "PartitionOracle",
+        "SilentRoundsOracle",
+        "ScriptedOracle",
+        "GoodPeriodOracle",
+        "KernelOnlyOracle",
+    }
+)
+
+
+def __getattr__(name: str):
+    if name in _ADVERSARY_EXPORTS:
+        from .. import adversaries
+
+        return getattr(adversaries, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

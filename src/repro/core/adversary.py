@@ -1,282 +1,28 @@
-"""Heard-of oracles: the environment/adversary of the round-level HO machine.
+"""Compatibility shim: the oracle zoo grew into :mod:`repro.adversaries`.
 
-In the HO model the environment is fully described by the heard-of sets it
-produces.  An *oracle* decides, for every round and every receiving process,
-the set of senders whose round-``r`` message actually arrives.  Oracles are
-the round-level counterpart of fault injection: crashes, omissions, link
-losses and partitions all reduce to removing senders from heard-of sets.
-
-The oracles in this module are used by unit tests, property-based tests, the
-examples, and by benchmark E1 (Table 1): some are built to *satisfy* a given
-communication predicate (so that liveness can be demonstrated), others are
-built to *violate* it (so that the loss of liveness -- but never of safety --
-can be demonstrated).
+The heard-of oracles used to live here as a fixed list of classes.  They
+are now a composable package -- base families, combinators
+(intersect/union/sequence/window switching), dynamic/transient families and
+a predicate-driven synthesizer -- under :mod:`repro.adversaries`.  This
+module re-exports the original names so existing imports keep working.
 """
 
-from __future__ import annotations
-
-import random
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Set
-
-from .types import HOSet, ProcessId, Round, all_processes, validate_process_subset
-
-
-class HOOracleBase:
-    """Base class for heard-of oracles.
-
-    An oracle is a callable ``(round, process) -> iterable of processes``.
-    Subclasses implement :meth:`ho_set`; the base class handles bounds.
-    """
-
-    def __init__(self, n: int) -> None:
-        if n <= 0:
-            raise ValueError(f"number of processes must be positive, got {n}")
-        self.n = n
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        raise NotImplementedError
-
-    def __call__(self, round: Round, process: ProcessId) -> HOSet:
-        return frozenset(self.ho_set(round, process)) & all_processes(self.n)
-
-
-class FaultFreeOracle(HOOracleBase):
-    """No transmission faults at all: ``HO(p, r) = Pi`` for every p and r."""
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        return all_processes(self.n)
-
-
-class StaticCrashOracle(HOOracleBase):
-    """Permanent-crash (SP) faults: crashed processes are never heard of again.
-
-    *crash_rounds* maps a process to the first round in which its messages
-    are no longer received (it "crashed before sending" in that round).
-    """
-
-    def __init__(self, n: int, crash_rounds: Mapping[ProcessId, Round]) -> None:
-        super().__init__(n)
-        for p, r in crash_rounds.items():
-            if not 0 <= p < n:
-                raise ValueError(f"crashed process {p} outside 0..{n - 1}")
-            if r <= 0:
-                raise ValueError(f"crash round must be >= 1, got {r} for process {p}")
-        self.crash_rounds = dict(crash_rounds)
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        return frozenset(
-            q
-            for q in range(self.n)
-            if self.crash_rounds.get(q) is None or round < self.crash_rounds[q]
-        )
-
-
-class RandomOmissionOracle(HOOracleBase):
-    """Dynamic transient (DT) faults: each transmission is lost independently.
-
-    Every (sender, receiver, round) transmission is dropped with probability
-    *loss_probability*; the receiver always hears of itself when
-    *always_hear_self* is set.  A seeded :class:`random.Random` makes runs
-    reproducible.  The oracle memoises its choices so that repeated queries
-    for the same (round, process) are consistent.
-    """
-
-    def __init__(
-        self,
-        n: int,
-        loss_probability: float,
-        seed: int = 0,
-        always_hear_self: bool = True,
-    ) -> None:
-        super().__init__(n)
-        if not 0.0 <= loss_probability <= 1.0:
-            raise ValueError(f"loss probability must be in [0, 1], got {loss_probability}")
-        self.loss_probability = loss_probability
-        self.always_hear_self = always_hear_self
-        self._rng = random.Random(seed)
-        self._memo: Dict[tuple[Round, ProcessId], HOSet] = {}
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        key = (round, process)
-        if key not in self._memo:
-            heard: Set[ProcessId] = set()
-            for q in range(self.n):
-                if q == process and self.always_hear_self:
-                    heard.add(q)
-                elif self._rng.random() >= self.loss_probability:
-                    heard.add(q)
-            self._memo[key] = frozenset(heard)
-        return self._memo[key]
-
-
-class PartitionOracle(HOOracleBase):
-    """A network partition: processes only hear of their own block.
-
-    *blocks* is a partition of (a subset of) Pi; processes not mentioned in
-    any block form an implicit singleton block.  Optionally the partition
-    *heals* from round *heal_round* on, after which communication is
-    fault free.
-    """
-
-    def __init__(
-        self,
-        n: int,
-        blocks: Sequence[Iterable[ProcessId]],
-        heal_round: Optional[Round] = None,
-    ) -> None:
-        super().__init__(n)
-        self._block_of: Dict[ProcessId, FrozenSet[ProcessId]] = {}
-        covered: Set[ProcessId] = set()
-        for block in blocks:
-            block_set = validate_process_subset(block, n)
-            if block_set & covered:
-                raise ValueError("partition blocks must be disjoint")
-            covered |= block_set
-            for p in block_set:
-                self._block_of[p] = block_set
-        for p in range(n):
-            if p not in self._block_of:
-                self._block_of[p] = frozenset({p})
-        self.heal_round = heal_round
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        if self.heal_round is not None and round >= self.heal_round:
-            return all_processes(self.n)
-        return self._block_of[process]
-
-
-class SilentRoundsOracle(HOOracleBase):
-    """Rounds in *silent_rounds* deliver nothing at all; other rounds are fault free.
-
-    ``P_otr`` explicitly allows rounds in which no messages are received;
-    this oracle exercises that corner (used in tests of Theorem 1).
-    """
-
-    def __init__(self, n: int, silent_rounds: Iterable[Round]) -> None:
-        super().__init__(n)
-        self.silent_rounds = frozenset(silent_rounds)
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        if round in self.silent_rounds:
-            return frozenset()
-        return all_processes(self.n)
-
-
-class ScriptedOracle(HOOracleBase):
-    """An oracle driven by an explicit script ``{(round, process): HO set}``.
-
-    Rounds/processes not covered by the script fall back to *default*
-    (the full process set unless stated otherwise).  This is the work-horse
-    of unit tests that need precise control over heard-of sets.
-    """
-
-    def __init__(
-        self,
-        n: int,
-        script: Mapping[tuple[Round, ProcessId], Iterable[ProcessId]],
-        default: Optional[Iterable[ProcessId]] = None,
-    ) -> None:
-        super().__init__(n)
-        self.script = {
-            key: validate_process_subset(value, n) for key, value in script.items()
-        }
-        self.default = (
-            all_processes(n) if default is None else validate_process_subset(default, n)
-        )
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        return self.script.get((round, process), self.default)
-
-
-class GoodPeriodOracle(HOOracleBase):
-    """An oracle shaped like the paper's good/bad period alternation, at round granularity.
-
-    Rounds before *good_from* are "bad": heard-of sets are drawn adversarially
-    (every transmission dropped with probability *bad_loss_probability*, and
-    the receiving process is partitioned away from a random half of the
-    system with probability *bad_partition_probability*).  From round
-    *good_from* to *good_to* (inclusive; ``None`` means forever) the rounds
-    are perfect for the processes in *pi0*: every ``p in pi0`` has
-    ``HO(p, r) = pi0``.  Processes outside pi0 keep experiencing bad rounds.
-
-    This is the round-level analogue of a "pi0-down" good period and is used
-    to construct collections satisfying ``P_su``/``P_2otr`` without running
-    the full step-level simulator.
-    """
-
-    def __init__(
-        self,
-        n: int,
-        pi0: Iterable[ProcessId],
-        good_from: Round,
-        good_to: Optional[Round] = None,
-        bad_loss_probability: float = 0.6,
-        bad_partition_probability: float = 0.3,
-        seed: int = 0,
-    ) -> None:
-        super().__init__(n)
-        self.pi0 = validate_process_subset(pi0, n)
-        if good_from <= 0:
-            raise ValueError(f"good_from must be >= 1, got {good_from}")
-        self.good_from = good_from
-        self.good_to = good_to
-        self._bad = RandomOmissionOracle(n, bad_loss_probability, seed=seed)
-        self._rng = random.Random(seed + 1)
-        self.bad_partition_probability = bad_partition_probability
-        self._memo: Dict[tuple[Round, ProcessId], HOSet] = {}
-
-    def _in_good_period(self, round: Round) -> bool:
-        if round < self.good_from:
-            return False
-        return self.good_to is None or round <= self.good_to
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        if self._in_good_period(round) and process in self.pi0:
-            return self.pi0
-        key = (round, process)
-        if key not in self._memo:
-            heard = set(self._bad.ho_set(round, process))
-            if self._rng.random() < self.bad_partition_probability:
-                half = set(self._rng.sample(range(self.n), self.n // 2))
-                heard &= half | {process}
-            self._memo[key] = frozenset(heard)
-        return self._memo[key]
-
-
-class KernelOnlyOracle(HOOracleBase):
-    """Rounds satisfy ``P_k(pi0, ., .)`` but are *not* space uniform.
-
-    Every process in pi0 hears of all of pi0 plus a random, per-process
-    subset of the remaining processes.  This oracle deliberately violates
-    ``P_su`` while satisfying ``P_k``, and is the canonical input of the
-    Algorithm 4 translation (Theorem 8 benchmarks and property tests).
-    """
-
-    def __init__(self, n: int, pi0: Iterable[ProcessId], seed: int = 0) -> None:
-        super().__init__(n)
-        self.pi0 = validate_process_subset(pi0, n)
-        self._rng = random.Random(seed)
-        self._memo: Dict[tuple[Round, ProcessId], HOSet] = {}
-
-    def ho_set(self, round: Round, process: ProcessId) -> HOSet:
-        key = (round, process)
-        if key not in self._memo:
-            extra_pool = sorted(set(range(self.n)) - self.pi0)
-            extras = {
-                q for q in extra_pool if self._rng.random() < 0.5
-            }
-            if process in self.pi0:
-                heard = set(self.pi0) | extras
-            else:
-                # Processes outside pi0 see an arbitrary subset.
-                heard = {q for q in range(self.n) if self._rng.random() < 0.5}
-                heard.add(process)
-            self._memo[key] = frozenset(heard)
-        return self._memo[key]
-
+from ..adversaries import (
+    FaultFreeOracle,
+    GoodPeriodOracle,
+    HOOracleBase,
+    KernelOnlyOracle,
+    MaskOracleBase,
+    PartitionOracle,
+    RandomOmissionOracle,
+    ScriptedOracle,
+    SilentRoundsOracle,
+    StaticCrashOracle,
+)
 
 __all__ = [
     "HOOracleBase",
+    "MaskOracleBase",
     "FaultFreeOracle",
     "StaticCrashOracle",
     "RandomOmissionOracle",

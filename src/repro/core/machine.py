@@ -6,14 +6,18 @@ function, then the *environment* -- represented by a heard-of oracle --
 decides, for every process, from which senders the message is actually
 received, and finally every process applies its transition function.
 
-The heard-of oracle plays the role of the adversary/environment.  The
-oracles shipped with the library live in :mod:`repro.core.adversary`; they
+The loop itself lives in the shared :class:`repro.rounds.RoundEngine`; the
+machine is a thin round-level policy over it, pairing the engine with an
+:class:`~repro.rounds.engine.OracleTransport` (the heard-of oracle plays the
+adversary/environment) and a :class:`~repro.core.types.RunTrace`.  The
+oracles shipped with the library live in :mod:`repro.adversaries`; they
 range from the fault-free oracle to oracles that are built to satisfy (or to
 violate) a given communication predicate.
 
 This executor is deliberately independent of the step-level system model of
-Section 4 (see :mod:`repro.sysmodel` and :mod:`repro.predimpl`): it is the
-right tool for studying the *algorithmic* layer in isolation, for checking
+Section 4 (see :mod:`repro.sysmodel` and :mod:`repro.predimpl`), which
+drives the *same* engine through a step-backed transport: it is the right
+tool for studying the algorithmic layer in isolation, for checking
 Theorems 1, 2 and 8, and for property-based testing of safety invariants.
 """
 
@@ -21,12 +25,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Iterable, Mapping, Optional, Sequence
 
+from ..rounds.engine import OracleTransport, RoundEngine
 from .algorithm import HOAlgorithm
 from .types import (
     HOCollection,
-    HOSet,
     ProcessId,
-    ProcessRoundRecord,
     Round,
     RunTrace,
     all_processes,
@@ -34,7 +37,9 @@ from .types import (
 
 #: A heard-of oracle: given the round and the receiving process, return the
 #: set of processes it hears of in that round.  The machine intersects the
-#: returned set with Pi, so oracles may be sloppy about bounds.
+#: returned set with Pi, so oracles may be sloppy about bounds.  Oracles may
+#: additionally implement ``ho_mask(round, process) -> int`` (all the oracles
+#: of :mod:`repro.adversaries` do) to skip set construction entirely.
 HOOracle = Callable[[Round, ProcessId], Iterable[ProcessId]]
 
 
@@ -47,10 +52,15 @@ class HOMachine:
         The HO algorithm to execute.
     oracle:
         The heard-of oracle controlling ``HO(p, r)`` for every process and
-        round.  See :mod:`repro.core.adversary` for ready-made oracles.
+        round.  See :mod:`repro.adversaries` for ready-made oracles and
+        combinators.
     initial_values:
         The initial value of each process, either a sequence indexed by
         process id or a mapping.
+    view:
+        The received-mapping representation handed to transition functions:
+        ``"dict"`` (default) materialises a plain dict, ``"mask"`` hands out
+        a zero-copy bitmask-backed view (faster for large ``n``).
     """
 
     def __init__(
@@ -58,9 +68,9 @@ class HOMachine:
         algorithm: HOAlgorithm,
         oracle: HOOracle,
         initial_values: Sequence[Any] | Mapping[ProcessId, Any],
+        view: str = "dict",
     ) -> None:
         self._algorithm = algorithm
-        self._oracle = oracle
         self._n = algorithm.n
         self._values: Dict[ProcessId, Any] = self._normalise_values(initial_values)
         self._states: Dict[ProcessId, Any] = {
@@ -69,6 +79,9 @@ class HOMachine:
         self._round: Round = 0
         self._trace = RunTrace(n=self._n, ho_collection=HOCollection(self._n))
         self._trace.initial_values = dict(self._values)
+        self._engine = RoundEngine(
+            algorithm, OracleTransport(oracle, self._n, view=view), self._trace
+        )
 
     def _normalise_values(
         self, initial_values: Sequence[Any] | Mapping[ProcessId, Any]
@@ -98,6 +111,11 @@ class HOMachine:
     def algorithm(self) -> HOAlgorithm:
         """The algorithm being executed."""
         return self._algorithm
+
+    @property
+    def engine(self) -> RoundEngine:
+        """The shared round engine executing this machine's rounds."""
+        return self._engine
 
     @property
     def current_round(self) -> Round:
@@ -134,36 +152,8 @@ class HOMachine:
     def run_round(self) -> Round:
         """Execute one full round and return its round number."""
         self._round += 1
-        round = self._round
-        algorithm = self._algorithm
-
-        payloads: Dict[ProcessId, Any] = {
-            p: algorithm.send(round, p, self._states[p]) for p in range(self._n)
-        }
-        self._trace.messages_sent += self._n * self._n
-
-        ho_sets: Dict[ProcessId, HOSet] = {}
-        for p in range(self._n):
-            requested = frozenset(self._oracle(round, p))
-            ho_sets[p] = requested & all_processes(self._n)
-
-        for p in range(self._n):
-            received = {q: payloads[q] for q in ho_sets[p]}
-            self._trace.messages_delivered += len(received)
-            new_state = algorithm.transition(round, p, self._states[p], received)
-            self._states[p] = new_state
-            self._trace.ho_collection.record(p, round, ho_sets[p])
-            self._trace.records.append(
-                ProcessRoundRecord(
-                    process=p,
-                    round=round,
-                    ho_set=ho_sets[p],
-                    state_after=new_state,
-                    decision=algorithm.decision(new_state),
-                    sent_payload=payloads[p],
-                )
-            )
-        return round
+        self._engine.execute_round(self._round, self._states)
+        return self._round
 
     def run(self, rounds: int) -> RunTrace:
         """Execute *rounds* additional rounds and return the trace."""

@@ -23,15 +23,16 @@ over the recorded window ``1 .. max_round``.
 from __future__ import annotations
 
 import abc
-import itertools
-from typing import Callable, FrozenSet, Iterable, Optional, Sequence
+from typing import Callable, FrozenSet, Iterable, Optional
 
-from .types import HOCollection, HOSet, ProcessId, Round, all_processes, validate_process_subset
+from ..rounds.bitmask import bit_count, iter_bits, mask_of
+from .types import HOCollection, HOSet, ProcessId, Round, validate_process_subset
 
 
 # --------------------------------------------------------------------------- #
 # Plain-function forms of Psu / Pk, shared by the predicate classes, the
-# benchmark harness and the analysis layer.
+# benchmark harness and the analysis layer.  Both run on the collection's
+# bitmask hot path: one integer comparison per (process, round).
 # --------------------------------------------------------------------------- #
 
 
@@ -45,13 +46,13 @@ def psu_holds(
 
     Formally: for all ``p in Pi0`` and ``r in [r1, r2]``, ``HO(p, r) = Pi0``.
     """
-    pi0_set = validate_process_subset(pi0, collection.n)
+    pi0_mask = mask_of(validate_process_subset(pi0, collection.n))
     if first_round <= 0 or last_round < first_round:
         return False
     return all(
-        collection.ho(p, r) == pi0_set
+        collection.ho_mask(p, r) == pi0_mask
         for r in range(first_round, last_round + 1)
-        for p in pi0_set
+        for p in iter_bits(pi0_mask)
     )
 
 
@@ -65,13 +66,13 @@ def pk_holds(
 
     Formally: for all ``p in Pi0`` and ``r in [r1, r2]``, ``HO(p, r) >= Pi0``.
     """
-    pi0_set = validate_process_subset(pi0, collection.n)
+    pi0_mask = mask_of(validate_process_subset(pi0, collection.n))
     if first_round <= 0 or last_round < first_round:
         return False
     return all(
-        pi0_set.issubset(collection.ho(p, r))
+        collection.ho_mask(p, r) & pi0_mask == pi0_mask
         for r in range(first_round, last_round + 1)
-        for p in pi0_set
+        for p in iter_bits(pi0_mask)
     )
 
 
@@ -199,7 +200,7 @@ class PerRoundCardinality(CommunicationPredicate):
     def holds(self, collection: HOCollection) -> bool:
         scope = self.scope if self.scope is not None else collection.processes
         return all(
-            len(collection.ho(p, r)) >= self.threshold
+            bit_count(collection.ho_mask(p, r)) >= self.threshold
             for r in collection.rounds()
             for p in scope
         )
@@ -224,7 +225,7 @@ class NonEmptyKernelEveryRound(CommunicationPredicate):
     name = "non-empty-kernel-every-round"
 
     def holds(self, collection: HOCollection) -> bool:
-        return all(len(collection.kernel(r)) > 0 for r in collection.rounds())
+        return all(collection.kernel_mask(r) != 0 for r in collection.rounds())
 
 
 class UniformRoundExists(CommunicationPredicate):

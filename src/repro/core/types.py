@@ -14,12 +14,26 @@ This module defines the identifiers, heard-of collections and run traces
 shared by the algorithmic layer (:mod:`repro.algorithms`), the predicate
 layer (:mod:`repro.core.predicates`) and the predicate-implementation layer
 (:mod:`repro.predimpl`).
+
+Heard-of sets are stored as integer bitmasks internally (one bit per
+process, see :mod:`repro.rounds.bitmask`); ``frozenset`` is the
+representation at API boundaries (:meth:`HOCollection.ho`,
+:attr:`RoundRecord.ho_set`).  Hot paths use :meth:`HOCollection.record_mask`
+and :meth:`HOCollection.ho_mask` and never build a set object per round.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from ..rounds.bitmask import (
+    full_mask,
+    iter_bits,
+    mask_of,
+    mask_to_frozenset,
+)
+from ..rounds.record import DecisionRecord, RoundRecord
 
 #: A process identifier.  Processes are numbered ``0 .. n-1``.
 ProcessId = int
@@ -29,6 +43,10 @@ Round = int
 
 #: A heard-of set: the set of processes a given process heard of in a round.
 HOSet = FrozenSet[ProcessId]
+
+#: Backwards-compatible name: the unified per-round record schema of
+#: :mod:`repro.rounds.record` replaced the old round-level-only record class.
+ProcessRoundRecord = RoundRecord
 
 
 def all_processes(n: int) -> FrozenSet[ProcessId]:
@@ -76,13 +94,21 @@ class HOCollection:
     form "there exists a round such that ..." are interpreted over that
     finite window, which is the standard way of checking liveness-enabling
     predicates on finite executions.
+
+    Heard-of sets are stored as bitmasks; :meth:`ho` converts to
+    ``frozenset`` at the API boundary (memoised per distinct mask), while
+    :meth:`ho_mask` / :meth:`record_mask` are the allocation-free hot path.
     """
+
+    __slots__ = ("_n", "_full", "_masks", "_frozen_cache", "_max_round")
 
     def __init__(self, n: int) -> None:
         if n <= 0:
             raise ValueError(f"number of processes must be positive, got {n}")
         self._n = n
-        self._sets: Dict[Tuple[ProcessId, Round], HOSet] = {}
+        self._full = full_mask(n)
+        self._masks: Dict[Tuple[ProcessId, Round], int] = {}
+        self._frozen_cache: Dict[int, HOSet] = {}
         self._max_round: Round = 0
 
     @property
@@ -96,37 +122,71 @@ class HOCollection:
         return all_processes(self._n)
 
     @property
+    def full_mask(self) -> int:
+        """The bitmask of the full process set Pi."""
+        return self._full
+
+    @property
     def max_round(self) -> Round:
         """The largest round for which at least one HO set was recorded."""
         return self._max_round
 
     def record(self, process: ProcessId, round: Round, ho_set: Iterable[ProcessId]) -> None:
-        """Record ``HO(process, round)``.
+        """Record ``HO(process, round)`` from an iterable of process ids.
 
         Re-recording the same (process, round) pair overwrites the previous
         value; this is convenient for simulators that finalise a round only
         when the transition function runs.
         """
+        # Validate before masking: a negative id would otherwise surface as
+        # an opaque "negative shift count" from mask_of.
+        self.record_mask(process, round, mask_of(validate_process_subset(ho_set, self._n)))
+
+    def record_mask(self, process: ProcessId, round: Round, mask: int) -> None:
+        """Record ``HO(process, round)`` from a bitmask (the hot path)."""
         if not 0 <= process < self._n:
             raise ValueError(f"process {process} outside 0..{self._n - 1}")
         if round <= 0:
             raise ValueError(f"round numbers start at 1, got {round}")
-        ho = validate_process_subset(ho_set, self._n)
-        self._sets[(process, round)] = ho
+        if mask & ~self._full:
+            bad = sorted(iter_bits(mask & ~self._full))
+            raise ValueError(f"process ids {bad} are outside 0..{self._n - 1}")
+        self._masks[(process, round)] = mask
         if round > self._max_round:
             self._max_round = round
 
     def ho(self, process: ProcessId, round: Round) -> HOSet:
         """Return ``HO(process, round)``; the empty set if nothing recorded."""
-        return self._sets.get((process, round), frozenset())
+        mask = self._masks.get((process, round), 0)
+        cached = self._frozen_cache.get(mask)
+        if cached is None:
+            cached = mask_to_frozenset(mask)
+            self._frozen_cache[mask] = cached
+        return cached
+
+    def ho_mask(self, process: ProcessId, round: Round) -> int:
+        """Return ``HO(process, round)`` as a bitmask; 0 if nothing recorded."""
+        return self._masks.get((process, round), 0)
 
     def has_record(self, process: ProcessId, round: Round) -> bool:
         """Whether an HO set was explicitly recorded for (process, round)."""
-        return (process, round) in self._sets
+        return (process, round) in self._masks
 
     def rounds(self) -> range:
         """The range of rounds ``1 .. max_round`` covered by the collection."""
         return range(1, self._max_round + 1)
+
+    def kernel_mask(self, round: Round, scope_mask: Optional[int] = None) -> int:
+        """The kernel of *round* as a bitmask (scope defaults to Pi)."""
+        scope = self._full if scope_mask is None else scope_mask
+        if scope == 0:
+            return 0
+        result = self._full
+        for p in iter_bits(scope):
+            result &= self._masks.get((p, round), 0)
+            if not result:
+                break
+        return result
 
     def kernel(self, round: Round, scope: Optional[Iterable[ProcessId]] = None) -> HOSet:
         """The kernel of *round*: processes heard by every process in *scope*.
@@ -134,76 +194,90 @@ class HOCollection:
         ``K(r) = intersection over p in scope of HO(p, r)``.  The default
         scope is the full process set Pi.
         """
-        members = list(self.processes if scope is None else validate_process_subset(scope, self._n))
-        if not members:
-            return frozenset()
-        result = self.ho(members[0], round)
-        for p in members[1:]:
-            result = result & self.ho(p, round)
-        return result
+        scope_mask = (
+            None if scope is None else mask_of(validate_process_subset(scope, self._n))
+        )
+        return mask_to_frozenset(self.kernel_mask(round, scope_mask))
 
     def is_space_uniform(self, round: Round, scope: Optional[Iterable[ProcessId]] = None) -> bool:
         """Whether all processes in *scope* have the same HO set in *round*."""
-        members = list(self.processes if scope is None else validate_process_subset(scope, self._n))
-        if not members:
-            return True
-        first = self.ho(members[0], round)
-        return all(self.ho(p, round) == first for p in members[1:])
+        members = (
+            range(self._n)
+            if scope is None
+            else sorted(validate_process_subset(scope, self._n))
+        )
+        first: Optional[int] = None
+        for p in members:
+            mask = self._masks.get((p, round), 0)
+            if first is None:
+                first = mask
+            elif mask != first:
+                return False
+        return True
 
     def items(self) -> Iterator[Tuple[ProcessId, Round, HOSet]]:
         """Iterate over recorded ``(process, round, HO set)`` triples."""
-        for (p, r), ho in sorted(self._sets.items(), key=lambda kv: (kv[0][1], kv[0][0])):
-            yield p, r, ho
+        for (p, r) in sorted(self._masks, key=lambda key: (key[1], key[0])):
+            yield p, r, self.ho(p, r)
 
     def restrict(self, scope: Iterable[ProcessId]) -> "HOCollection":
         """Return a copy with HO sets intersected with *scope*.
 
         Useful for analysing the behaviour of a subsystem ``pi0``.
         """
-        scope_set = validate_process_subset(scope, self._n)
+        scope_mask = mask_of(validate_process_subset(scope, self._n))
         out = HOCollection(self._n)
-        for (p, r), ho in self._sets.items():
-            if p in scope_set:
-                out.record(p, r, ho & scope_set)
+        for (p, r), mask in self._masks.items():
+            if (scope_mask >> p) & 1:
+                out.record_mask(p, r, mask & scope_mask)
         return out
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, HOCollection):
             return NotImplemented
-        return self._n == other._n and self._sets == other._sets
+        return self._n == other._n and self._masks == other._masks
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"HOCollection(n={self._n}, rounds=1..{self._max_round})"
 
 
 @dataclass
-class ProcessRoundRecord:
-    """Everything recorded about one process in one round of a run."""
-
-    process: ProcessId
-    round: Round
-    ho_set: HOSet
-    state_after: Any
-    decision: Optional[Any]
-    sent_payload: Any = None
-
-
-@dataclass
 class RunTrace:
-    """The full trace of an HO-machine run.
+    """The full trace of a round-level run.
 
-    Holds the heard-of collection, per-round per-process records, the
-    decisions observed, and message accounting.  The analysis layer
+    Holds the heard-of collection, per-round per-process records under the
+    unified :class:`~repro.rounds.record.RoundRecord` schema, the decisions
+    observed, and message accounting.  The analysis layer
     (:mod:`repro.analysis`) checks consensus properties and communication
     predicates against instances of this class.
+
+    ``RunTrace`` implements the :class:`repro.rounds.engine.RoundTraceSink`
+    protocol, so the shared :class:`~repro.rounds.engine.RoundEngine` writes
+    into it directly.
     """
 
     n: int
     ho_collection: HOCollection
-    records: List[ProcessRoundRecord] = field(default_factory=list)
+    records: List[RoundRecord] = field(default_factory=list)
     initial_values: Dict[ProcessId, Any] = field(default_factory=dict)
     messages_sent: int = 0
     messages_delivered: int = 0
+
+    # ------------------------------------------------------------------ #
+    # RoundTraceSink protocol (written to by the RoundEngine)
+    # ------------------------------------------------------------------ #
+
+    def record_round_result(self, record: RoundRecord) -> None:
+        """Append one unified per-round record (and index its HO set)."""
+        self.records.append(record)
+        self.ho_collection.record_mask(record.process, record.round, record.ho_mask)
+
+    def record_decision(self, process: ProcessId, value: Any, round: Round, time: float) -> None:
+        """No-op: round-level decisions are derived from the records."""
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
 
     def decisions(self) -> Dict[ProcessId, Any]:
         """Map of process -> first decision value (processes without a decision are absent)."""
@@ -221,6 +295,25 @@ class RunTrace:
                 out[record.process] = record.round
         return out
 
+    def decision_records(self) -> Dict[ProcessId, DecisionRecord]:
+        """Map of process -> unified first-decision record (time = round number)."""
+        out: Dict[ProcessId, DecisionRecord] = {}
+        for record in self.records:
+            if record.decision is not None and record.process not in out:
+                time = record.time if record.time is not None else float(record.round)
+                out[record.process] = DecisionRecord(
+                    record.process, record.decision, record.round, time
+                )
+        return out
+
+    def decision_values(self) -> Dict[ProcessId, Any]:
+        """Map process -> decided value (the unified-trace spelling of :meth:`decisions`)."""
+        return self.decisions()
+
+    def decision_times(self) -> Dict[ProcessId, float]:
+        """Map process -> time of first decision (round-level time is the round number)."""
+        return {p: record.time for p, record in self.decision_records().items()}
+
     def all_decided(self, scope: Optional[Iterable[ProcessId]] = None) -> bool:
         """Whether every process in *scope* (default: all) decided."""
         scope_set = all_processes(self.n) if scope is None else validate_process_subset(scope, self.n)
@@ -231,11 +324,11 @@ class RunTrace:
         """The number of rounds recorded in the trace."""
         return self.ho_collection.max_round
 
-    def records_for_round(self, round: Round) -> List[ProcessRoundRecord]:
+    def records_for_round(self, round: Round) -> List[RoundRecord]:
         """All per-process records for a given round."""
         return [record for record in self.records if record.round == round]
 
-    def records_for_process(self, process: ProcessId) -> List[ProcessRoundRecord]:
+    def records_for_process(self, process: ProcessId) -> List[RoundRecord]:
         """All per-round records for a given process, in round order."""
         return sorted(
             (record for record in self.records if record.process == process),
@@ -250,6 +343,8 @@ __all__ = [
     "RoundMessage",
     "HOCollection",
     "ProcessRoundRecord",
+    "RoundRecord",
+    "DecisionRecord",
     "RunTrace",
     "all_processes",
     "validate_process_subset",

@@ -14,7 +14,7 @@ the Chandra-Toueg and Aguilera et al. baselines.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Optional
 
 from ..core.types import ProcessId

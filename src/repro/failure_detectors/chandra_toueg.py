@@ -22,7 +22,7 @@ Section 4 is unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Set, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.types import ProcessId
 from ..des.simulator import DESProcess, ProcessContext

@@ -25,7 +25,7 @@ keeping runs deterministic.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Mapping
 
 from ..core.types import ProcessId

@@ -25,14 +25,20 @@ messages of slower ones.
 Round number and upper-layer state live on stable storage; recovery restarts
 the main loop with the volatile message set and next-round variable
 reinitialised.
+
+As with Algorithm 2, the send -> environment -> transition loop belongs to
+the shared :class:`repro.rounds.RoundEngine`; this program contributes the
+step-level round-synchronisation policy (timeouts, INIT quorums, jumps) and
+deposits round evidence into the engine's step transport.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Optional, Sequence, Set
 
 from ..core.algorithm import HOAlgorithm
 from ..core.types import ProcessId, Round
+from ..rounds.engine import RoundEngine, StepTransport
 from ..sysmodel.network import Envelope
 from ..sysmodel.params import SynchronyParams
 from ..sysmodel.process import ReceiveStep, SendStep, StepProgram, StepProgramGenerator
@@ -56,6 +62,7 @@ class ArbitraryGoodPeriodProgram(StepProgram):
         params: SynchronyParams,
         trace: SystemRunTrace,
         resend_init: bool = True,
+        engine: Optional[RoundEngine] = None,
     ) -> None:
         super().__init__(process_id, n)
         if not 0 <= f < n / 2:
@@ -64,6 +71,10 @@ class ArbitraryGoodPeriodProgram(StepProgram):
         self.algorithm = algorithm
         self.params = params
         self.trace = trace
+        if engine is None:
+            engine = RoundEngine(algorithm, StepTransport(n), trace)
+        self.engine = engine
+        self.transport: StepTransport = engine.transport
         #: whether the INIT message is re-sent every ``tau_0`` receive steps
         #: while the process is stuck in the same round.  Re-sending is needed
         #: for liveness when an INIT sent during a bad period was lost (the
@@ -112,14 +123,15 @@ class ArbitraryGoodPeriodProgram(StepProgram):
     def program(self) -> StepProgramGenerator:
         round_number: Round = self.stable_storage.load(ROUND_KEY)
         state = self.stable_storage.load(STATE_KEY)
-        # Volatile: evidence received, keyed by (round, sender), and the INIT
+        # Volatile (lost on a crash): the collected round evidence -- cleared
+        # from the engine transport's mailbox on (re)boot -- and the INIT
         # senders seen per round.
-        received_messages: Dict[Tuple[Round, ProcessId], Any] = {}
+        self.transport.reset(self.process_id)
         init_senders: Dict[Round, Set[ProcessId]] = {}
         next_round = round_number
 
         while True:
-            payload = self.algorithm.send(round_number, self.process_id, state)
+            payload = self.engine.send_payload(round_number, self.process_id, state)
             result = yield SendStep(payload=round_message(round_number, payload))
             self.trace.record_round_start(self.process_id, round_number, result.time)
 
@@ -135,7 +147,9 @@ class ArbitraryGoodPeriodProgram(StepProgram):
                     message = envelope.payload
                     evidence_round = message.evidence_round()
                     if evidence_round >= round_number:
-                        received_messages[(evidence_round, envelope.sender)] = message.payload
+                        self.transport.deposit(
+                            self.process_id, evidence_round, envelope.sender, message.payload
+                        )
                         self.trace.record_reception(
                             self.process_id, evidence_round, envelope.sender, result.time
                         )
@@ -155,47 +169,17 @@ class ArbitraryGoodPeriodProgram(StepProgram):
                     )
                     last_time = result.time
 
-            state = self._finish_rounds(
-                round_number, next_round, state, received_messages, last_time
+            state = self.engine.finish_rounds(
+                self.process_id, round_number, next_round, state, last_time
             )
             round_number = next_round
             self.stable_storage.store(ROUND_KEY, round_number)
             self.stable_storage.store(STATE_KEY, state)
-            received_messages = {
-                key: value for key, value in received_messages.items() if key[0] >= round_number
-            }
             init_senders = {
                 entered: senders
                 for entered, senders in init_senders.items()
                 if entered > round_number
             }
-
-    def _finish_rounds(
-        self,
-        round_number: Round,
-        next_round: Round,
-        state: Any,
-        received_messages: Dict[Tuple[Round, ProcessId], Any],
-        time: float,
-    ) -> Any:
-        round_view = {
-            sender: payload
-            for (message_round, sender), payload in received_messages.items()
-            if message_round == round_number
-        }
-        self.trace.record_round(self.process_id, round_number, round_view.keys(), time)
-        state = self.algorithm.transition(round_number, self.process_id, state, round_view)
-        self._maybe_record_decision(state, round_number, time)
-        for skipped in range(round_number + 1, next_round):
-            self.trace.record_round(self.process_id, skipped, frozenset(), time)
-            state = self.algorithm.transition(skipped, self.process_id, state, {})
-            self._maybe_record_decision(state, skipped, time)
-        return state
-
-    def _maybe_record_decision(self, state: Any, round_number: Round, time: float) -> None:
-        decision = self.algorithm.decision(state)
-        if decision is not None:
-            self.trace.record_decision(self.process_id, decision, round_number, time)
 
 
 def build_arbitrary_period_programs(
@@ -206,10 +190,15 @@ def build_arbitrary_period_programs(
     trace: SystemRunTrace,
     resend_init: bool = True,
 ) -> list[ArbitraryGoodPeriodProgram]:
-    """One :class:`ArbitraryGoodPeriodProgram` per process, sharing *trace*."""
+    """One :class:`ArbitraryGoodPeriodProgram` per process, sharing *trace*.
+
+    All processes share one :class:`~repro.rounds.RoundEngine` (and its
+    step transport), mirroring the shared trace.
+    """
     n = algorithm.n
     if len(initial_values) != n:
         raise ValueError(f"expected {n} initial values, got {len(initial_values)}")
+    engine = RoundEngine(algorithm, StepTransport(n), trace)
     return [
         ArbitraryGoodPeriodProgram(
             process_id=p,
@@ -220,6 +209,7 @@ def build_arbitrary_period_programs(
             params=params,
             trace=trace,
             resend_init=resend_init,
+            engine=engine,
         )
         for p in range(n)
     ]

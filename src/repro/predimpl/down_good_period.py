@@ -19,14 +19,22 @@ variable reinitialised, exactly as specified in Section 4.2.1.
 
 Algorithm 2 sends no messages of its own: only the upper layer's messages
 travel on the network.
+
+The send -> environment -> transition loop itself belongs to the shared
+:class:`repro.rounds.RoundEngine`: this program only decides *when* a round
+is over (the step-level timeout/jump policy) and deposits receptions into
+the engine's :class:`~repro.rounds.engine.StepTransport`; finishing a round
+-- transition, skipped-round handling, unified trace records -- is engine
+code shared with the HO machine and Algorithm 3.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Optional, Sequence
 
 from ..core.algorithm import HOAlgorithm
 from ..core.types import ProcessId, Round
+from ..rounds.engine import RoundEngine, StepTransport
 from ..sysmodel.network import Envelope
 from ..sysmodel.params import SynchronyParams
 from ..sysmodel.process import ReceiveStep, SendStep, StepProgram, StepProgramGenerator
@@ -49,11 +57,16 @@ class DownGoodPeriodProgram(StepProgram):
         initial_value: Any,
         params: SynchronyParams,
         trace: SystemRunTrace,
+        engine: Optional[RoundEngine] = None,
     ) -> None:
         super().__init__(process_id, n)
         self.algorithm = algorithm
         self.params = params
         self.trace = trace
+        if engine is None:
+            engine = RoundEngine(algorithm, StepTransport(n), trace)
+        self.engine = engine
+        self.transport: StepTransport = engine.transport
         #: receive-step budget per round: ceil(2*delta + (n+2)*phi)
         self.timeout = params.algorithm2_timeout(n)
         self.stable_storage.store(ROUND_KEY, 1)
@@ -90,12 +103,13 @@ class DownGoodPeriodProgram(StepProgram):
     def program(self) -> StepProgramGenerator:
         round_number: Round = self.stable_storage.load(ROUND_KEY)
         state = self.stable_storage.load(STATE_KEY)
-        # Volatile: messages received, keyed by (round, sender).
-        received_messages: Dict[Tuple[Round, ProcessId], Any] = {}
+        # The received-message set is volatile (lost on a crash): the mailbox
+        # the engine's transport keeps for this process is cleared on (re)boot.
+        self.transport.reset(self.process_id)
         next_round = round_number
 
         while True:
-            payload = self.algorithm.send(round_number, self.process_id, state)
+            payload = self.engine.send_payload(round_number, self.process_id, state)
             result = yield SendStep(payload=round_message(round_number, payload))
             self.trace.record_round_start(self.process_id, round_number, result.time)
 
@@ -111,51 +125,23 @@ class DownGoodPeriodProgram(StepProgram):
                 if envelope is not None and isinstance(envelope.payload, WireMessage):
                     message = envelope.payload
                     if message.kind is WireKind.ROUND and message.round >= round_number:
-                        received_messages[(message.round, envelope.sender)] = message.payload
+                        self.transport.deposit(
+                            self.process_id, message.round, envelope.sender, message.payload
+                        )
                         self.trace.record_reception(
                             self.process_id, message.round, envelope.sender, result.time
                         )
                         if message.round > round_number:
                             next_round = message.round
 
-            state = self._finish_rounds(
-                round_number, next_round, state, received_messages, last_time
+            # The engine finishes the round: T^r on the collected view, T^{r'}
+            # on the empty view for skipped rounds, records and mailbox pruning.
+            state = self.engine.finish_rounds(
+                self.process_id, round_number, next_round, state, last_time
             )
             round_number = next_round
             self.stable_storage.store(ROUND_KEY, round_number)
             self.stable_storage.store(STATE_KEY, state)
-            # Messages for rounds already finished can safely be discarded.
-            received_messages = {
-                key: value for key, value in received_messages.items() if key[0] >= round_number
-            }
-
-    def _finish_rounds(
-        self,
-        round_number: Round,
-        next_round: Round,
-        state: Any,
-        received_messages: Dict[Tuple[Round, ProcessId], Any],
-        time: float,
-    ) -> Any:
-        """Run ``T^r`` for the finished round and ``T^{r'}(empty)`` for skipped rounds."""
-        round_view = {
-            sender: payload
-            for (message_round, sender), payload in received_messages.items()
-            if message_round == round_number
-        }
-        self.trace.record_round(self.process_id, round_number, round_view.keys(), time)
-        state = self.algorithm.transition(round_number, self.process_id, state, round_view)
-        self._maybe_record_decision(state, round_number, time)
-        for skipped in range(round_number + 1, next_round):
-            self.trace.record_round(self.process_id, skipped, frozenset(), time)
-            state = self.algorithm.transition(skipped, self.process_id, state, {})
-            self._maybe_record_decision(state, skipped, time)
-        return state
-
-    def _maybe_record_decision(self, state: Any, round_number: Round, time: float) -> None:
-        decision = self.algorithm.decision(state)
-        if decision is not None:
-            self.trace.record_decision(self.process_id, decision, round_number, time)
 
 
 def build_down_period_programs(
@@ -164,12 +150,17 @@ def build_down_period_programs(
     params: SynchronyParams,
     trace: SystemRunTrace,
 ) -> list[DownGoodPeriodProgram]:
-    """One :class:`DownGoodPeriodProgram` per process, sharing *trace*."""
+    """One :class:`DownGoodPeriodProgram` per process, sharing *trace*.
+
+    All processes share one :class:`~repro.rounds.RoundEngine` (and its
+    step transport), mirroring the shared trace.
+    """
     n = algorithm.n
     if len(initial_values) != n:
         raise ValueError(
             f"expected {n} initial values, got {len(initial_values)}"
         )
+    engine = RoundEngine(algorithm, StepTransport(n), trace)
     return [
         DownGoodPeriodProgram(
             process_id=p,
@@ -178,6 +169,7 @@ def build_down_period_programs(
             initial_value=initial_values[p],
             params=params,
             trace=trace,
+            engine=engine,
         )
         for p in range(n)
     ]

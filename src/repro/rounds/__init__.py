@@ -1,0 +1,54 @@
+"""The shared round-execution core.
+
+One :class:`RoundEngine` owns the send -> environment -> transition loop for
+every layer of the reproduction; the environment is a :class:`RoundTransport`
+(oracle-backed for the lockstep HO machine, step-backed for the
+predicate-implementation programs), and every executed round is recorded
+under the unified :class:`RoundRecord` schema.  Heard-of sets travel as
+integer bitmasks in the hot path (:mod:`repro.rounds.bitmask`).
+
+This package sits *below* :mod:`repro.core`: it depends only on the standard
+library, so every layer above can share it without import cycles.
+"""
+
+from .bitmask import (
+    MaskMapping,
+    bit_count,
+    full_mask,
+    iter_bits,
+    mask_contains,
+    mask_issubset,
+    mask_of,
+    mask_to_frozenset,
+)
+from .engine import (
+    OracleTransport,
+    RoundAlgorithm,
+    RoundEngine,
+    RoundTraceSink,
+    RoundTransport,
+    StepTransport,
+)
+from .record import DecisionRecord, RoundRecord
+
+__all__ = [
+    # bitmask helpers
+    "bit_count",
+    "full_mask",
+    "mask_of",
+    "mask_to_frozenset",
+    "iter_bits",
+    "mask_contains",
+    "mask_issubset",
+    "MaskMapping",
+    # unified record schema
+    "RoundRecord",
+    "DecisionRecord",
+    # engine
+    "RoundEngine",
+    "RoundTransport",
+    "OracleTransport",
+    "StepTransport",
+    "RoundAlgorithm",
+    "RoundTraceSink",
+]

@@ -1,0 +1,114 @@
+"""Integer bitmasks over process sets: the hot-path representation of HO sets.
+
+A heard-of set over processes ``0 .. n-1`` is represented as an ``int`` in
+which bit ``p`` is set iff process ``p`` is a member.  Set algebra becomes
+word-wide integer arithmetic (``&``, ``|``, ``==``), membership a shift, and
+cardinality a popcount -- no per-round ``frozenset`` churn in large-``n``
+sweeps.  ``frozenset`` remains the representation at API boundaries
+(:meth:`repro.core.types.HOCollection.ho`, record ``ho_set`` properties);
+these helpers convert between the two.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any, FrozenSet, Iterable, Iterator, Sequence
+
+try:  # Python >= 3.10
+    _POPCOUNT = int.bit_count
+
+    def bit_count(mask: int) -> int:
+        """The number of set bits in *mask* (the cardinality of the set)."""
+        return _POPCOUNT(mask)
+
+except AttributeError:  # pragma: no cover - Python 3.9 fallback
+
+    def bit_count(mask: int) -> int:
+        """The number of set bits in *mask* (the cardinality of the set)."""
+        return bin(mask).count("1")
+
+
+def full_mask(n: int) -> int:
+    """The mask of the full process set ``Pi = {0, ..., n-1}``."""
+    return (1 << n) - 1
+
+
+def mask_of(processes: Iterable[int]) -> int:
+    """The mask of an iterable of process ids (ids must be non-negative)."""
+    mask = 0
+    for p in processes:
+        mask |= 1 << p
+    return mask
+
+
+def mask_to_frozenset(mask: int) -> FrozenSet[int]:
+    """The ``frozenset`` of process ids encoded by *mask*."""
+    return frozenset(iter_bits(mask))
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Iterate over the set bit positions of *mask*, in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_contains(mask: int, process: int) -> bool:
+    """Whether bit *process* is set in *mask*."""
+    return (mask >> process) & 1 == 1
+
+
+def mask_issubset(inner: int, outer: int) -> bool:
+    """Whether every member of *inner* is a member of *outer*."""
+    return inner & ~outer == 0
+
+
+class MaskMapping(Mapping):
+    """A read-only ``{process: payload}`` view selected by a bitmask.
+
+    Wraps the dense per-round payload sequence (indexed by process id) and a
+    heard-of mask; ``len`` is a popcount and construction is O(1), so the
+    round engine can hand transition functions their received-message view
+    without materialising a dict per (process, round).  Iteration order is
+    ascending process id, matching the dict the engine would otherwise build.
+    """
+
+    __slots__ = ("_payloads", "_mask")
+
+    def __init__(self, payloads: Sequence[Any], mask: int) -> None:
+        self._payloads = payloads
+        self._mask = mask
+
+    @property
+    def mask(self) -> int:
+        return self._mask
+
+    def __getitem__(self, process: int) -> Any:
+        if not isinstance(process, int) or process < 0 or not mask_contains(self._mask, process):
+            raise KeyError(process)
+        return self._payloads[process]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter_bits(self._mask)
+
+    def __len__(self) -> int:
+        return bit_count(self._mask)
+
+    def __contains__(self, process: object) -> bool:
+        return isinstance(process, int) and process >= 0 and mask_contains(self._mask, process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"MaskMapping({dict(self)!r})"
+
+
+__all__ = [
+    "bit_count",
+    "full_mask",
+    "mask_of",
+    "mask_to_frozenset",
+    "iter_bits",
+    "mask_contains",
+    "mask_issubset",
+    "MaskMapping",
+]

@@ -52,7 +52,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--json", default=None, help="write the JSON summary here")
     parser.add_argument(
-        "--list", action="store_true", help="list registered scenarios and exit"
+        "--csv", default=None, help="write one CSV row per run here"
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered scenarios and measurements, then exit",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-run progress lines"
@@ -60,8 +65,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
+        print("scenarios:")
         for name in REGISTRY.scenario_names():
-            print(name)
+            print(f"  {name}")
+        print("measurements:")
+        for name in REGISTRY.measurement_names():
+            print(f"  {name}")
         return 0
 
     known = REGISTRY.scenario_names()
@@ -95,6 +104,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.json:
         result.write_json(args.json)
         print(f"JSON summary written to {args.json}")
+
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"CSV records written to {args.csv}")
 
     errors = sum(1 for record in result.records if record.error)
     return 1 if errors else 0

@@ -22,6 +22,7 @@ of worker completion order, and aggregates never include wall-clock times
 
 from __future__ import annotations
 
+import csv
 import json
 import multiprocessing
 import os
@@ -279,6 +280,44 @@ class SweepResult:
             json.dump(self.to_json(), handle, indent=2, sort_keys=False)
             handle.write("\n")
 
+    #: column order of the CSV export (the per-run JSON fields).
+    CSV_FIELDS = (
+        "scenario",
+        "fault_model",
+        "seed",
+        "n",
+        "solved",
+        "safe",
+        "terminated",
+        "decided_processes",
+        "scope_size",
+        "first_decision_time",
+        "last_decision_time",
+        "messages_sent",
+        "wall_seconds",
+        "error",
+    )
+
+    def write_csv(self, path: str) -> None:
+        """Write one CSV row per run to *path* (creating parent directories).
+
+        Columns match the per-run entries of the JSON summary, in grid
+        order, so spreadsheet/pandas consumers get the same records CI gets.
+        """
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        # Columns come from the records themselves so the CSV can never
+        # drift out of sync with the JSON export; CSV_FIELDS documents the
+        # expected order and covers the empty-sweep header.
+        fields = (
+            list(self.records[0].to_json_dict()) if self.records else list(self.CSV_FIELDS)
+        )
+        with open(path, "w", encoding="utf-8", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer.writeheader()
+            for record in self.records:
+                writer.writerow(record.to_json_dict())
+
     def report_lines(self) -> List[str]:
         """Fixed-width rows plus aggregate lines, for text reports."""
         lines = [record.row() for record in self.records]
@@ -289,7 +328,7 @@ class SweepResult:
                 f"{name:<32} runs={aggregate['runs']:<3} "
                 f"solved={aggregate['solved']}/{aggregate['runs']} "
                 f"all_safe={aggregate['all_safe']!s:<5} "
-                f"mean_latency="
+                "mean_latency="
                 f"{'-' if mean_latency is None else format(mean_latency, '.1f')}"
             )
         return lines

@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import itertools
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..core.types import ProcessId
 from .params import SynchronyParams
-from .periods import GoodPeriodKind, PeriodSchedule
+from .periods import PeriodSchedule
 
 
 @dataclass(frozen=True)

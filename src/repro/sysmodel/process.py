@@ -19,8 +19,8 @@ variables it keeps on *stable storage*.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, List, Optional, Sequence, Union
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, Optional, Sequence, Union
 
 from ..core.types import ProcessId
 from .network import Envelope

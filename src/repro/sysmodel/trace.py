@@ -18,28 +18,30 @@ bounds of Theorems 3, 5, 6 and 7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..core.predicates import pk_holds, psu_holds
-from ..core.types import HOCollection, HOSet, ProcessId, Round, validate_process_subset
-
-
-@dataclass(frozen=True)
-class DecisionRecord:
-    """A decision of the upper-layer algorithm observed at the step level."""
-
-    process: ProcessId
-    value: Any
-    round: Round
-    time: float
+from ..core.types import HOCollection, ProcessId, Round, validate_process_subset
+from ..rounds.bitmask import mask_of
+from ..rounds.record import DecisionRecord, RoundRecord
 
 
 @dataclass
 class SystemRunTrace:
-    """Everything recorded during a step-level simulation run."""
+    """Everything recorded during a step-level simulation run.
+
+    Per-round outcomes are stored under the unified
+    :class:`~repro.rounds.record.RoundRecord` schema (shared with the
+    round-level :class:`~repro.core.types.RunTrace`), plus step-level extras
+    -- send/reception timestamps, step and crash accounting -- that only
+    exist below the round abstraction.  ``SystemRunTrace`` implements the
+    :class:`repro.rounds.engine.RoundTraceSink` protocol, so the shared
+    :class:`~repro.rounds.RoundEngine` writes into it directly.
+    """
 
     n: int
     ho_collection: HOCollection = None  # type: ignore[assignment]
+    records: List[RoundRecord] = field(default_factory=list)
     transition_times: Dict[Tuple[ProcessId, Round], float] = field(default_factory=dict)
     round_send_times: Dict[Tuple[ProcessId, Round], float] = field(default_factory=dict)
     #: (receiver, round, sender) -> first time the receiver obtained round evidence
@@ -72,8 +74,15 @@ class SystemRunTrace:
         self, process: ProcessId, round: Round, ho_set: Iterable[ProcessId], time: float
     ) -> None:
         """Record the heard-of set and transition time of one executed round."""
-        self.ho_collection.record(process, round, ho_set)
-        self.transition_times[(process, round)] = time
+        self.record_round_result(
+            RoundRecord(process=process, round=round, ho_mask=mask_of(ho_set), time=time)
+        )
+
+    def record_round_result(self, record: RoundRecord) -> None:
+        """Record one executed round under the unified record schema."""
+        self.records.append(record)
+        self.ho_collection.record_mask(record.process, record.round, record.ho_mask)
+        self.transition_times[(record.process, record.round)] = record.time
 
     def record_reception(
         self, process: ProcessId, round: Round, sender: ProcessId, time: float
@@ -113,6 +122,10 @@ class SystemRunTrace:
     def decision_values(self) -> Dict[ProcessId, Any]:
         """Map process -> decided value."""
         return {p: record.value for p, record in self.decisions.items()}
+
+    def decision_records(self) -> Dict[ProcessId, DecisionRecord]:
+        """Map process -> unified first-decision record (the unified-trace protocol)."""
+        return dict(self.decisions)
 
     def decision_times(self) -> Dict[ProcessId, float]:
         """Map process -> time of first decision."""

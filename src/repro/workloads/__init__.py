@@ -1,5 +1,6 @@
 """Workloads: scenario generators and the measurement harness behind the benchmarks."""
 
+from .adversarial import ROUND_FAMILIES, run_round_adversary
 from .measure import (
     DEFAULT_BAD_BEHAVIOR,
     DEFAULT_BAD_NETWORK,
@@ -40,4 +41,6 @@ __all__ = [
     "run_chandra_toueg",
     "run_aguilera",
     "compare_stacks",
+    "ROUND_FAMILIES",
+    "run_round_adversary",
 ]

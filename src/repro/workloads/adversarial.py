@@ -1,0 +1,188 @@
+"""Round-level adversarial scenarios: the dynamic-fault sweep matrix.
+
+Each scenario runs OneThirdRule on the lockstep
+:class:`~repro.core.machine.HOMachine` (i.e. through the shared
+:class:`~repro.rounds.RoundEngine`) under one of the dynamic adversary
+families of :mod:`repro.adversaries.dynamic`, crossed with the standard
+fault-model axis.  The fault-model overlays are themselves built with the
+oracle combinators -- composition by :class:`IntersectOracle`, transient
+crashes by a :class:`SequenceOracle` of crash and fault-free phases -- so
+the sweep exercises the whole adversary algebra:
+
+* ``fault-free``     -- the dynamic family alone;
+* ``crash-stop``     -- plus a permanent crash of the last process;
+* ``crash-recovery`` -- plus a transient crash window for the last process;
+* ``lossy``          -- plus independent 20% message loss.
+
+Every family stabilises at ``stabilize_round`` (its churn stops and
+communication becomes fault free for the surviving processes), so these runs
+terminate for the processes in scope -- the round-level analogue of a good
+period after a bad one.  Scenarios are registered with
+:mod:`repro.runner.registry` under ``ho-round-<family>``, so
+``python -m repro.runner`` sweeps cover the dynamic-fault matrix.
+
+One master :class:`~repro.engine.rng.SeededRng` per run feeds every oracle
+through named sub-streams, so a single seed controls the whole environment.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+from typing import Any, Dict, Optional
+
+from ..adversaries import (
+    BurstyLossOracle,
+    EventuallyStableCoordinatorOracle,
+    FaultFreeOracle,
+    HOOracleBase,
+    IntersectOracle,
+    MobileOmissionOracle,
+    RandomOmissionOracle,
+    RotatingPartitionOracle,
+    SequenceOracle,
+    StaticCrashOracle,
+)
+from ..algorithms import OneThirdRule
+from ..analysis.consensus_check import check_consensus
+from ..analysis.metrics import metrics_from_trace
+from ..core.machine import HOMachine
+from ..engine.rng import SeededRng
+from ..runner.registry import REGISTRY
+from .scenarios import FAULT_MODELS, ScenarioResult, _initial_values, _scope_for
+
+#: The dynamic adversary families swept by the ``ho-round-*`` scenarios.
+ROUND_FAMILIES = (
+    "mobile-omission",
+    "rotating-partition",
+    "bursty-loss",
+    "eventually-stable-coordinator",
+)
+
+
+#: per-family default knobs; any keyword of the family's oracle constructor
+#: may be overridden through the scenario's **params.
+_FAMILY_DEFAULTS: Dict[str, Dict[str, Any]] = {
+    "mobile-omission": {"faults": None},  # None -> max(1, n // 4)
+    "rotating-partition": {"blocks": 2, "period": 4, "churn": 0.3},
+    "bursty-loss": {"p_burst": 0.15, "p_recover": 0.3, "loss_burst": 1.0, "loss_good": 0.0},
+    "eventually-stable-coordinator": {
+        "stable_coordinator": 0,
+        "flaky_probability": 0.3,
+        "background_probability": 0.4,
+    },
+}
+
+_FAMILY_CLASSES = {
+    "mobile-omission": MobileOmissionOracle,
+    "rotating-partition": RotatingPartitionOracle,
+    "bursty-loss": BurstyLossOracle,
+    "eventually-stable-coordinator": EventuallyStableCoordinatorOracle,
+}
+
+
+def _family_oracle(
+    family: str, n: int, stabilize_round: int, rng: SeededRng, params: Dict[str, Any]
+) -> HOOracleBase:
+    if family not in _FAMILY_CLASSES:
+        raise ValueError(
+            f"unknown adversary family {family!r}; expected one of {ROUND_FAMILIES}"
+        )
+    kwargs = dict(_FAMILY_DEFAULTS[family])
+    unknown = set(params) - set(kwargs)
+    if unknown:
+        raise ValueError(
+            f"unknown parameter(s) {sorted(unknown)} for family {family!r}; "
+            f"known: {sorted(kwargs)}"
+        )
+    kwargs.update(params)
+    if family == "mobile-omission" and kwargs["faults"] is None:
+        kwargs["faults"] = max(1, n // 4)
+    stability_key = {
+        "mobile-omission": "stable_from",
+        "rotating-partition": "heal_from",
+        "bursty-loss": "stable_from",
+        "eventually-stable-coordinator": "stable_from",
+    }[family]
+    kwargs[stability_key] = stabilize_round
+    return _FAMILY_CLASSES[family](n, rng=rng.spawn("family"), **kwargs)
+
+
+def _overlay_oracle(
+    fault_model: str, n: int, stabilize_round: int, rng: SeededRng
+) -> Optional[HOOracleBase]:
+    """The fault-model axis, expressed with the oracle combinators."""
+    if fault_model == "fault-free":
+        return None
+    if fault_model == "crash-stop":
+        # The last process crashes early and never recovers.
+        return StaticCrashOracle(n, {n - 1: 3})
+    if fault_model == "crash-recovery":
+        # The last process is down for a window during the unstable phase:
+        # fault-free, then crashed, then fault-free again -- a transient
+        # crash scripted with SequenceOracle.
+        down_from = max(2, stabilize_round // 3)
+        down_length = max(1, stabilize_round // 3)
+        return SequenceOracle(
+            n,
+            [
+                (FaultFreeOracle(n), down_from - 1),
+                (StaticCrashOracle(n, {n - 1: 1}), down_length),
+                (FaultFreeOracle(n), None),
+            ],
+        )
+    if fault_model == "lossy":
+        return RandomOmissionOracle(n, 0.2, rng=rng.spawn("overlay"))
+    raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
+
+
+def run_round_adversary(
+    fault_model: str,
+    n: int = 4,
+    seed: int = 0,
+    family: str = "mobile-omission",
+    rounds: int = 80,
+    stabilize_round: Optional[int] = None,
+    **params: Any,
+) -> ScenarioResult:
+    """Run OneThirdRule under a dynamic adversary family crossed with *fault_model*.
+
+    The environment is ``IntersectOracle(family, overlay)``: the dynamic
+    family provides the churn, the fault-model overlay the static/transient
+    crashes or extra loss.  Latency is measured in rounds (the round-level
+    clock).
+    """
+    if fault_model not in FAULT_MODELS:
+        raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
+    if stabilize_round is None:
+        stabilize_round = max(2, rounds // 2)
+    rng = SeededRng(seed)
+    oracle: HOOracleBase = _family_oracle(family, n, stabilize_round, rng, params)
+    overlay = _overlay_oracle(fault_model, n, stabilize_round, rng)
+    if overlay is not None:
+        oracle = IntersectOracle(n, oracle, overlay)
+
+    values = _initial_values(n)
+    machine = HOMachine(OneThirdRule(n), oracle, values)
+    scope = _scope_for(fault_model, n)
+    # Under the lossy overlay the post-stabilisation rounds still lose
+    # messages, so a decision is likely but not certain within the horizon.
+    trace = machine.run_until_decision(max_rounds=rounds, scope=scope)
+    verdict = check_consensus(trace, values, scope=scope)
+    return ScenarioResult(
+        stack=f"ho-round/{family}",
+        fault_model=fault_model,
+        n=n,
+        seed=seed,
+        verdict=verdict,
+        metrics=metrics_from_trace(trace, scope=scope),
+        extra={"family": family, "stabilize_round": stabilize_round, "rounds": rounds},
+    )
+
+
+for _family in ROUND_FAMILIES:
+    REGISTRY.register_scenario(
+        f"ho-round-{_family}", partial(run_round_adversary, family=_family)
+    )
+
+
+__all__ = ["ROUND_FAMILIES", "run_round_adversary"]

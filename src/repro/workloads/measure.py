@@ -18,7 +18,6 @@ from typing import Any, Dict, Optional, Sequence
 
 from ..runner.registry import REGISTRY
 from ..algorithms import OneThirdRule
-from ..core.types import ProcessId
 from ..predimpl import (
     arbitrary_p2otr_length,
     build_arbitrary_stack,

@@ -21,7 +21,7 @@ from ..runner.registry import REGISTRY
 from ..algorithms import OneThirdRule
 from ..analysis.consensus_check import ConsensusVerdict, check_consensus
 from ..analysis.metrics import RunMetrics, metrics_from_des, metrics_from_system_trace
-from ..analysis.taxonomy import FaultClass, FaultConfiguration, classify
+from ..analysis.taxonomy import FaultConfiguration, classify
 from ..des import ChannelConfig, EventSimulator
 from ..failure_detectors import (
     EventuallyStrongDetector,

@@ -1,0 +1,144 @@
+"""Tests for the oracle combinator algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversaries import (
+    FaultFreeOracle,
+    IntersectOracle,
+    PartitionOracle,
+    ScriptedOracle,
+    SequenceOracle,
+    SilentRoundsOracle,
+    StaticCrashOracle,
+    UnionOracle,
+    WindowSwitchOracle,
+    ensure_oracle,
+)
+from repro.rounds.bitmask import mask_of
+
+
+class TestIntersect:
+    def test_faults_compose(self):
+        n = 4
+        crash = StaticCrashOracle(n, {3: 2})
+        partition = PartitionOracle(n, blocks=[[0, 1], [2, 3]])
+        oracle = IntersectOracle(n, crash, partition)
+        # round 1: only the partition acts
+        assert oracle(1, 0) == frozenset({0, 1})
+        assert oracle(1, 2) == frozenset({2, 3})
+        # round 2: the crash removes process 3 from block {2, 3}
+        assert oracle(2, 2) == frozenset({2})
+
+    def test_identity_under_fault_free(self):
+        n = 3
+        partition = PartitionOracle(n, blocks=[[0, 1]])
+        oracle = IntersectOracle(n, FaultFreeOracle(n), partition)
+        for p in range(n):
+            assert oracle(1, p) == partition(1, p)
+
+    def test_requires_components(self):
+        with pytest.raises(ValueError):
+            IntersectOracle(3)
+
+
+class TestUnion:
+    def test_redundant_channels(self):
+        n = 4
+        left = ScriptedOracle(n, {}, default=[0, 1])
+        right = ScriptedOracle(n, {}, default=[2])
+        oracle = UnionOracle(n, left, right)
+        assert oracle(1, 0) == frozenset({0, 1, 2})
+
+    def test_union_with_silence_is_identity(self):
+        n = 3
+        base = PartitionOracle(n, blocks=[[0, 1], [2]])
+        oracle = UnionOracle(n, base, SilentRoundsOracle(n, range(1, 100)))
+        for p in range(n):
+            assert oracle(5, p) == base(5, p)
+
+
+class TestSequence:
+    def test_phases_switch_at_segment_boundaries(self):
+        n = 3
+        oracle = SequenceOracle(
+            n,
+            [
+                (FaultFreeOracle(n), 2),
+                (SilentRoundsOracle(n, range(1, 1000)), 3),
+                (FaultFreeOracle(n), None),
+            ],
+        )
+        full = frozenset(range(n))
+        assert oracle(1, 0) == full
+        assert oracle(2, 0) == full
+        for r in (3, 4, 5):
+            assert oracle(r, 0) == frozenset()
+        assert oracle(6, 0) == full
+        assert oracle(100, 0) == full
+
+    def test_components_see_local_rounds(self):
+        n = 3
+        # A crash segment scripted mid-sequence models a transient crash:
+        # the component crashes its victim from *local* round 1.
+        oracle = SequenceOracle(
+            n,
+            [
+                (FaultFreeOracle(n), 4),
+                (StaticCrashOracle(n, {2: 1}), 2),
+                (FaultFreeOracle(n), None),
+            ],
+        )
+        assert 2 in oracle(4, 0)
+        assert 2 not in oracle(5, 0)
+        assert 2 not in oracle(6, 0)
+        assert 2 in oracle(7, 0)
+
+    def test_only_final_segment_may_be_open_ended(self):
+        n = 2
+        with pytest.raises(ValueError, match="open-ended"):
+            SequenceOracle(n, [(FaultFreeOracle(n), None), (FaultFreeOracle(n), 3)])
+
+    def test_rejects_non_positive_lengths(self):
+        n = 2
+        with pytest.raises(ValueError):
+            SequenceOracle(n, [(FaultFreeOracle(n), 0)])
+
+
+class TestWindowSwitch:
+    def test_rotates_through_components(self):
+        n = 4
+        a = PartitionOracle(n, blocks=[[0, 1], [2, 3]])
+        b = PartitionOracle(n, blocks=[[0, 2], [1, 3]])
+        oracle = WindowSwitchOracle(n, [a, b], window=2)
+        assert oracle(1, 0) == frozenset({0, 1})
+        assert oracle(2, 0) == frozenset({0, 1})
+        assert oracle(3, 0) == frozenset({0, 2})
+        assert oracle(4, 0) == frozenset({0, 2})
+        assert oracle(5, 0) == frozenset({0, 1})  # wrapped around
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            WindowSwitchOracle(2, [FaultFreeOracle(2)], window=0)
+
+
+class TestAdapters:
+    def test_plain_callables_are_adapted_and_clamped(self):
+        oracle = IntersectOracle(3, lambda r, p: [0, 1, 2, 99])
+        assert oracle(1, 0) == frozenset({0, 1, 2})
+        assert oracle.ho_mask(1, 0) == mask_of({0, 1, 2})
+
+    def test_ensure_oracle_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="sized"):
+            ensure_oracle(FaultFreeOracle(3), 4)
+
+    def test_nesting(self):
+        n = 4
+        inner = SequenceOracle(
+            n, [(PartitionOracle(n, blocks=[[0, 1], [2, 3]]), 2), (FaultFreeOracle(n), None)]
+        )
+        outer = IntersectOracle(n, inner, StaticCrashOracle(n, {3: 100}))
+        assert outer(1, 0) == frozenset({0, 1})
+        assert outer(3, 0) == frozenset({0, 1, 2, 3})
+        assert outer(100, 0) == frozenset({0, 1, 2})

@@ -1,0 +1,73 @@
+"""Unit tests for the bitmask HO-set representation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rounds.bitmask import (
+    MaskMapping,
+    bit_count,
+    full_mask,
+    iter_bits,
+    mask_contains,
+    mask_issubset,
+    mask_of,
+    mask_to_frozenset,
+)
+
+
+class TestMaskHelpers:
+    def test_full_mask(self):
+        assert full_mask(1) == 0b1
+        assert full_mask(4) == 0b1111
+        assert full_mask(130) == (1 << 130) - 1
+
+    def test_mask_of_roundtrips_with_frozenset(self):
+        for members in (set(), {0}, {3, 1, 2}, {0, 63, 64, 129}):
+            mask = mask_of(members)
+            assert mask_to_frozenset(mask) == frozenset(members)
+
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0)) == []
+        assert list(iter_bits(0b1011)) == [0, 1, 3]
+        assert list(iter_bits(1 << 100)) == [100]
+
+    def test_bit_count(self):
+        assert bit_count(0) == 0
+        assert bit_count(0b1011) == 3
+        assert bit_count(full_mask(200)) == 200
+
+    def test_contains_and_subset(self):
+        mask = mask_of({1, 4})
+        assert mask_contains(mask, 1)
+        assert not mask_contains(mask, 2)
+        assert mask_issubset(mask_of({1}), mask)
+        assert mask_issubset(0, mask)
+        assert not mask_issubset(mask_of({2}), mask)
+
+    def test_set_algebra_matches_frozenset_algebra(self):
+        a, b = {0, 2, 5}, {2, 3, 5, 7}
+        assert mask_to_frozenset(mask_of(a) & mask_of(b)) == frozenset(a) & frozenset(b)
+        assert mask_to_frozenset(mask_of(a) | mask_of(b)) == frozenset(a) | frozenset(b)
+
+
+class TestMaskMapping:
+    def test_behaves_like_the_materialised_dict(self):
+        payloads = [f"m{p}" for p in range(6)]
+        mask = mask_of({0, 3, 5})
+        view = MaskMapping(payloads, mask)
+        materialised = {q: payloads[q] for q in iter_bits(mask)}
+        assert dict(view) == materialised
+        assert len(view) == 3
+        assert list(view) == list(materialised)
+        assert list(view.values()) == list(materialised.values())
+        assert view[3] == "m3"
+        assert view.get(1) is None
+        assert 5 in view and 1 not in view
+
+    def test_missing_key_raises(self):
+        view = MaskMapping(["a", "b"], mask_of({0}))
+        with pytest.raises(KeyError):
+            view[1]
+        with pytest.raises(KeyError):
+            view[-1]

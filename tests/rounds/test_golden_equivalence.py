@@ -1,0 +1,56 @@
+"""Byte-identical per-seed equivalence of the RoundEngine unification.
+
+The fingerprints in ``tests/data/golden_traces.json`` were captured from the
+pre-refactor executors (the original ``HOMachine`` round loop and the
+hand-rolled round loops inside ``predimpl``).  These tests re-run the same
+scenarios through the shared :class:`repro.rounds.RoundEngine` and require
+identical traces, pinning down that the unification changed *where* the loop
+lives, not *what* it computes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from ._golden import (
+    _run_arbitrary,
+    _run_down,
+    _run_machine,
+    compute_fingerprints,
+    load_goldens,
+)
+
+
+def test_all_golden_scenarios_match_pre_refactor_fingerprints():
+    expected = load_goldens()
+    actual = compute_fingerprints()
+    assert set(actual) == set(expected)
+    mismatched = {name for name in expected if actual[name] != expected[name]}
+    assert not mismatched, f"traces diverged from pre-refactor goldens: {sorted(mismatched)}"
+
+
+def test_machine_traces_are_deterministic_per_seed():
+    from repro.algorithms import OneThirdRule
+
+    from ._golden import fingerprint_ho_trace
+
+    first = fingerprint_ho_trace(_run_machine(OneThirdRule, n=6, rounds=20))
+    second = fingerprint_ho_trace(_run_machine(OneThirdRule, n=6, rounds=20))
+    assert first == second
+
+
+@pytest.mark.parametrize("fault_model", ["fault-free", "lossy"])
+def test_down_stack_traces_are_deterministic_per_seed(fault_model):
+    from ._golden import fingerprint_system_trace
+
+    first = fingerprint_system_trace(_run_down(fault_model, n=3, seed=5))
+    second = fingerprint_system_trace(_run_down(fault_model, n=3, seed=5))
+    assert first == second
+
+
+def test_arbitrary_stack_traces_are_deterministic_per_seed():
+    from ._golden import fingerprint_system_trace
+
+    first = fingerprint_system_trace(_run_arbitrary(n=3, f=1, seed=3, use_translation=False))
+    second = fingerprint_system_trace(_run_arbitrary(n=3, f=1, seed=3, use_translation=False))
+    assert first == second

@@ -1,0 +1,70 @@
+"""Tests for the runner CLI additions: --list (with measurements) and --csv."""
+
+from __future__ import annotations
+
+import csv
+
+from repro.runner.__main__ import main
+from repro.runner.registry import REGISTRY
+from repro.runner.sweep import RunSpec, SweepResult, execute_run
+
+
+def run_small_sweep():
+    specs = [
+        RunSpec.make("ho-round-mobile-omission", "fault-free", seed, n=4)
+        for seed in (0, 1)
+    ]
+    return SweepResult(records=[execute_run(spec) for spec in specs])
+
+
+class TestCsvExport:
+    def test_write_csv_matches_json_records(self, tmp_path):
+        result = run_small_sweep()
+        path = tmp_path / "out" / "sweep.csv"
+        result.write_csv(str(path))
+        with open(path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(result.records)
+        for row, record in zip(rows, result.records):
+            expected = record.to_json_dict()
+            assert row["scenario"] == expected["scenario"]
+            assert int(row["seed"]) == expected["seed"]
+            assert row["solved"] == str(expected["solved"])
+            assert row["error"] == ""
+        assert list(rows[0]) == list(SweepResult.CSV_FIELDS)
+
+
+class TestCli:
+    def test_list_prints_scenarios_and_measurements(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "scenarios:" in out
+        assert "measurements:" in out
+        for name in REGISTRY.scenario_names():
+            assert f"  {name}\n" in out
+        for name in REGISTRY.measurement_names():
+            assert f"  {name}\n" in out
+
+    def test_sweep_writes_csv_and_json(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            [
+                "--scenarios", "ho-round-rotating-partition",
+                "--fault-models", "fault-free",
+                "--seeds", "0",
+                "--quiet",
+                "--json", str(json_path),
+                "--csv", str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert json_path.exists()
+        with open(csv_path, newline="") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert rows[0]["scenario"] == "ho-round-rotating-partition"
+        assert rows[0]["safe"] == "True"
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["--scenarios", "no-such-scenario", "--quiet"]) == 2

@@ -1,0 +1,61 @@
+"""Tests for the round-level adversarial scenario family."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runner.registry import REGISTRY
+from repro.workloads.adversarial import ROUND_FAMILIES, run_round_adversary
+
+
+class TestRegistry:
+    def test_every_family_is_registered(self):
+        names = REGISTRY.scenario_names()
+        for family in ROUND_FAMILIES:
+            assert f"ho-round-{family}" in names
+
+    def test_registered_runner_matches_direct_call(self):
+        direct = run_round_adversary("fault-free", n=4, seed=1, family="bursty-loss")
+        via_registry = REGISTRY.scenario("ho-round-bursty-loss")("fault-free", n=4, seed=1)
+        assert direct.verdict.decisions == via_registry.verdict.decisions
+        assert direct.metrics == via_registry.metrics
+
+
+class TestMatrix:
+    @pytest.mark.parametrize("family", ROUND_FAMILIES)
+    @pytest.mark.parametrize(
+        "fault_model", ["fault-free", "crash-stop", "crash-recovery", "lossy"]
+    )
+    def test_safety_never_breaks(self, family, fault_model):
+        for seed in (0, 1):
+            result = run_round_adversary(fault_model, n=4, seed=seed, family=family)
+            assert result.safe, result.verdict.violations
+
+    @pytest.mark.parametrize("family", ROUND_FAMILIES)
+    def test_termination_after_stabilisation(self, family):
+        """Stabilising families + crash overlays guarantee termination in scope."""
+        for fault_model in ("fault-free", "crash-stop", "crash-recovery"):
+            result = run_round_adversary(fault_model, n=4, seed=0, family=family)
+            assert result.solved, (fault_model, result.verdict.violations)
+
+    def test_crash_stop_scope_excludes_the_crashed_process(self):
+        result = run_round_adversary("crash-stop", n=4, seed=0, family="mobile-omission")
+        assert result.metrics.scope_size == 3
+        assert 3 not in result.verdict.decisions or result.verdict.termination
+
+    def test_deterministic_per_seed(self):
+        a = run_round_adversary("lossy", n=4, seed=5, family="rotating-partition")
+        b = run_round_adversary("lossy", n=4, seed=5, family="rotating-partition")
+        assert a.verdict.decisions == b.verdict.decisions
+        assert a.metrics == b.metrics
+
+    def test_unknown_family_and_fault_model_raise(self):
+        with pytest.raises(ValueError):
+            run_round_adversary("fault-free", family="nope")
+        with pytest.raises(ValueError):
+            run_round_adversary("nope", family="mobile-omission")
+
+    def test_extra_stays_descriptive(self):
+        result = run_round_adversary("fault-free", n=4, seed=0, family="bursty-loss")
+        assert result.extra["family"] == "bursty-loss"
+        assert result.stack == "ho-round/bursty-loss"
