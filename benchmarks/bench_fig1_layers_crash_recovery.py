@@ -18,7 +18,9 @@ from repro.workloads import FAULT_MODELS, run_ho_stack
 def test_same_stack_under_every_fault_model(benchmark, report):
     def run_all():
         specs = build_grid(["ho-stack"], FAULT_MODELS, seeds=(0, 1), n=4)
-        sweep = run_sweep(specs, workers=2)
+        # this consumer wants the full ScenarioResult of every cell, so it
+        # opts into shipping results through the worker pool
+        sweep = run_sweep(specs, workers=2, keep_results=True)
         return [record.result for record in sweep.records]
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)

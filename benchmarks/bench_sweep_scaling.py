@@ -1,0 +1,182 @@
+#!/usr/bin/env python3
+"""Scaling benchmark: the sweep executor's wire discipline and worker fan-out.
+
+Runs a trace-heavy grid (the ``ho-round-bursty-loss`` scenario with
+``keep_trace=True``, so every ``ScenarioResult`` drags a full round trace
+behind it) through :func:`repro.runner.run_sweep` three ways and emits
+``BENCH_sweep.json`` so CI can track the perf trajectory of the sweep
+pipeline:
+
+* ``inline``         -- workers=1, everything in-process (the baseline);
+* ``parallel-full``  -- a worker pool that pickles the *entire* result back
+  through the pool (``keep_results=True``: the pre-refactor wire format);
+* ``parallel-slim``  -- the default wire discipline: only the slim
+  :class:`~repro.runner.RunRecord` crosses the pool.
+
+Also reports the pickled wire size of one record in both formats -- the
+IPC bytes the slim discipline removes -- and cross-checks that all three
+modes produce byte-identical aggregates.
+
+Run directly::
+
+    python benchmarks/bench_sweep_scaling.py --runs 16 --workers 4
+    python benchmarks/bench_sweep_scaling.py --check   # equivalence only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import sys
+import time
+from dataclasses import replace
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.runner.sweep import build_grid, execute_run, run_sweep  # noqa: E402
+
+SCHEMA = "repro-bench-sweep/1"
+
+SCENARIO = "ho-round-bursty-loss"
+FAULT_MODEL = "fault-free"
+
+
+def make_grid(runs: int, n: int, rounds: int):
+    # Heavy bursts (steady-state ~86% of links down) deny OneThirdRule its
+    # 2n/3 quorum until stabilisation just before the horizon, so every
+    # trace spans ~rounds rounds; keep_trace makes each ScenarioResult
+    # carry that full trace -- the worst-case payload the slim wire
+    # discipline keeps out of the pool.
+    return build_grid(
+        [SCENARIO],
+        [FAULT_MODEL],
+        seeds=list(range(runs)),
+        n=n,
+        rounds=rounds,
+        stabilize_round=max(2, rounds - 5),
+        p_burst=0.6,
+        p_recover=0.1,
+        keep_trace=True,
+    )
+
+
+def wire_bytes(n: int, rounds: int) -> Dict[str, int]:
+    """Pickled size of one wire record, slim vs. full-result."""
+    record = execute_run(make_grid(1, n, rounds)[0])
+    full = len(pickle.dumps(record))
+    slim = len(pickle.dumps(replace(record, result=None)))
+    return {"slim": slim, "full": full, "ratio": round(full / slim, 1)}
+
+
+def check_equivalence(runs: int = 4, n: int = 8, rounds: int = 60) -> None:
+    """All three execution modes must report the same grid outcomes."""
+    grid = make_grid(runs, n, rounds)
+    inline = run_sweep(grid, workers=1)
+    slim = run_sweep(grid, workers=2)
+    full = run_sweep(grid, workers=2, keep_results=True)
+    reference = json.dumps(inline.aggregate(), sort_keys=True)
+    assert json.dumps(slim.aggregate(), sort_keys=True) == reference
+    assert json.dumps(full.aggregate(), sort_keys=True) == reference
+    assert all(record.result is None for record in slim.records)
+    assert all(record.result is not None for record in full.records)
+    print("equivalence: inline, parallel-slim and parallel-full agree")
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def benchmark(
+    runs: int, n: int, rounds: int, workers: int, repeats: int
+) -> Dict[str, Any]:
+    grid = make_grid(runs, n, rounds)
+    modes = (
+        ("inline", dict(workers=1)),
+        ("parallel-full", dict(workers=workers, keep_results=True)),
+        ("parallel-slim", dict(workers=workers)),
+    )
+    results: List[Dict[str, Any]] = []
+    timings: Dict[str, float] = {}
+    for mode, kwargs in modes:
+        seconds = _best_of(lambda: run_sweep(grid, **kwargs), repeats)
+        timings[mode] = seconds
+        results.append(
+            {
+                "mode": mode,
+                "workers": kwargs.get("workers", 1),
+                "keep_results": bool(kwargs.get("keep_results", False)),
+                "wall_seconds": round(seconds, 6),
+            }
+        )
+        print(f"{mode:<14} workers={kwargs.get('workers', 1):<3} {seconds * 1e3:8.1f}ms")
+    wire = wire_bytes(n, rounds)
+    payload = {
+        "schema": SCHEMA,
+        "scenario": SCENARIO,
+        "fault_model": FAULT_MODEL,
+        "grid": {"runs": runs, "n": n, "rounds": rounds},
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "wire_bytes": wire,
+        "results": results,
+        "speedup": {
+            "parallel_slim_vs_inline": round(
+                timings["inline"] / timings["parallel-slim"], 3
+            ),
+            "parallel_slim_vs_parallel_full": round(
+                timings["parallel-full"] / timings["parallel-slim"], 3
+            ),
+        },
+    }
+    print(
+        f"wire record: {wire['slim']}B slim vs {wire['full']}B full "
+        f"({wire['ratio']}x) | speedup vs inline: "
+        f"{payload['speedup']['parallel_slim_vs_inline']}x | "
+        f"vs full-result pool: "
+        f"{payload['speedup']['parallel_slim_vs_parallel_full']}x"
+    )
+    if payload["speedup"]["parallel_slim_vs_inline"] < 1.0:
+        print(
+            f"note: no spare cores on this host (cpu_count={os.cpu_count()}); "
+            "the workers>1 win needs a multi-core machine"
+        )
+    return payload
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=16, help="grid cells / seeds (default: 16)")
+    parser.add_argument("--n", type=int, default=16, help="system size (default: 16)")
+    parser.add_argument("--rounds", type=int, default=400, help="rounds per run (default: 400)")
+    parser.add_argument("--workers", type=int, default=4, help="pool size (default: 4)")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of (default: 3)")
+    parser.add_argument(
+        "--json", default="BENCH_sweep.json", help="output path (default: BENCH_sweep.json)"
+    )
+    parser.add_argument(
+        "--check", action="store_true", help="only verify mode equivalence and exit"
+    )
+    args = parser.parse_args(argv)
+
+    check_equivalence()
+    if args.check:
+        return 0
+
+    payload = benchmark(args.runs, args.n, args.rounds, args.workers, args.repeats)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

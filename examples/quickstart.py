@@ -6,12 +6,18 @@ HO machine, first in a fault-free environment, then under heavy message
 loss, and finally under a *composed* adversary built with the
 :mod:`repro.adversaries` combinators -- a churning partition that heals into
 a crash-free-but-lossy regime.  After each run the communication predicates
-of Table 1 are checked on the recorded heard-of collection.
+of Table 1 are checked on the recorded heard-of collection.  Finally, a
+small sweep grid is run through the resumable JSONL pipeline: the "first
+attempt" dies halfway, and the second call picks up exactly where it died.
 
 Run with:  python examples/quickstart.py
 """
 
 from __future__ import annotations
+
+import json
+import tempfile
+from pathlib import Path
 
 from repro.adversaries import (
     FaultFreeOracle,
@@ -24,6 +30,7 @@ from repro.adversaries import (
 from repro.algorithms import OneThirdRule
 from repro.analysis import check_consensus
 from repro.core import HOMachine, POtr, PRestrOtr
+from repro.runner import JsonlSink, build_grid, run_sweep
 
 
 def run(label: str, oracle, initial_values) -> None:
@@ -75,6 +82,30 @@ def main() -> None:
     composed = IntersectOracle(n, phases, RandomOmissionOracle(n, 0.1, seed=2))
     run("composed adversary (partition churn -> transient crash -> calm, +10% loss)",
         composed, initial_values)
+
+    # A resumable sweep: grids stream one JSON line per finished run into a
+    # JSONL sink, so a killed grid restarts where it died.  Here the "first
+    # attempt" only executes half the grid; the resumed call skips those
+    # cells and completes the rest.
+    print("--- resumable JSONL sweep ---")
+    grid = build_grid(
+        ["ho-round-mobile-omission"],
+        ["fault-free", "crash-stop"],
+        seeds=[0, 1],
+        n=4,
+    )
+    jsonl = Path(tempfile.mkdtemp(prefix="repro-quickstart-")) / "sweep.jsonl"
+    run_sweep(grid[: len(grid) // 2], sinks=[JsonlSink(str(jsonl))])  # "killed" here
+    print(f"first attempt : {len(jsonl.read_text().splitlines())}/{len(grid)} "
+          f"cells persisted to {jsonl}")
+    result = run_sweep(
+        grid,
+        sinks=[JsonlSink(str(jsonl), append=True)],
+        resume_from=str(jsonl),
+    )
+    print(f"resumed sweep : {result.resumed} cells skipped, "
+          f"{len(result) - result.resumed} executed")
+    print(json.dumps(result.aggregate(), indent=2))
 
 
 if __name__ == "__main__":

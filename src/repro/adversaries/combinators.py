@@ -18,6 +18,13 @@ All combinators work on bitmasks end-to-end, accept any oracle callable
 (plain callables are adapted), and are themselves oracles -- so they nest:
 ``IntersectOracle(n, SequenceOracle(n, ...), RandomOmissionOracle(n, ...))``
 is a perfectly good environment.
+
+:class:`IntersectOracle` and :class:`UnionOracle` always query *every*
+component, even once the accumulated mask is already empty (or full):
+stateful components (the dynamic families, ``RandomOmissionOracle``, ...)
+draw lazily per query, so skipping one would make its seeded sub-stream
+advance differently depending on *sibling* outcomes -- violating the
+documented rule that concerns cannot perturb each other.
 """
 
 from __future__ import annotations
@@ -47,11 +54,12 @@ class IntersectOracle(MaskOracleBase):
         self.oracles = _adapt_all(n, oracles)
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
+        # Every component is queried even after the mask empties: a skipped
+        # stateful component would consume its RNG sub-stream differently
+        # depending on sibling outcomes.
         mask = self._full
         for oracle in self.oracles:
             mask &= oracle.ho_mask(round, process)
-            if not mask:
-                break
         return mask
 
 
@@ -67,11 +75,11 @@ class UnionOracle(MaskOracleBase):
         self.oracles = _adapt_all(n, oracles)
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
+        # As in IntersectOracle: never short-circuit past a component, so
+        # stateful components' draw sequences stay sibling-independent.
         mask = 0
         for oracle in self.oracles:
             mask |= oracle.ho_mask(round, process)
-            if mask == self._full:
-                break
         return mask & self._full
 
 
@@ -129,6 +137,12 @@ class WindowSwitchOracle(MaskOracleBase):
     component behaves identically on every visit -- this models environments
     that *churn* between regimes (e.g. alternating partitions) rather than
     ones that settle.
+
+    For lazily-drawing components (the :mod:`repro.adversaries.dynamic`
+    families) the identical-visit guarantee rests on their per-round memos:
+    when the window exceeds their retention
+    (:data:`~repro.adversaries.dynamic.MEMO_RETAIN_ROUNDS`), construct the
+    component with ``retain_rounds >= window`` or the re-visit raises.
     """
 
     def __init__(self, n: int, oracles: Sequence[HOOracle], window: int = 1) -> None:

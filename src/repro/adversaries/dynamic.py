@@ -25,16 +25,84 @@ All are mask-native, memoise per (round, process), support an eventual
 stabilisation round (so liveness experiments terminate), and draw from
 named :class:`~repro.engine.rng.SeededRng` sub-streams (``oracle.mobile``,
 ``oracle.partition``, ``oracle.burst``, ``oracle.coordinator``).
+
+The memos are *bounded*: like the engine's ``_BITS_CACHE_LIMIT``, an
+oracle driven for a long run must not accumulate O(rounds · n) state, so
+only the :data:`MEMO_RETAIN_ROUNDS` most recent rounds are retained.
+Eviction never changes a seeded draw sequence -- draws happen exactly once
+per key, in the same order as before -- but re-querying a round that has
+already been evicted raises instead of silently re-drawing (which would
+shift every later draw).  Engines query rounds in nondecreasing order and
+:class:`~repro.adversaries.combinators.WindowSwitchOracle` rebases its
+components to small local rounds, so the window is invisible in practice.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..core.types import ProcessId, Round
 from ..engine.rng import SeededRng
 from ..rounds.bitmask import mask_of
 from .base import MaskOracleBase, bernoulli_mask, oracle_rng
+
+#: How much recent history a dynamic oracle's memo retains before evicting:
+#: round-keyed memos keep this many rounds, (round, process)-keyed memos
+#: this many rounds' worth of entries, epoch-keyed memos this many epochs.
+#: Per-oracle override: the ``retain_rounds`` constructor argument (needed
+#: e.g. for a WindowSwitchOracle component whose window exceeds this).
+MEMO_RETAIN_ROUNDS = 256
+
+
+def _retention(retain_rounds: Optional[int]) -> int:
+    if retain_rounds is None:
+        return MEMO_RETAIN_ROUNDS
+    if retain_rounds <= 0:
+        raise ValueError(f"retain_rounds must be positive, got {retain_rounds}")
+    return retain_rounds
+
+
+class _BoundedMemo:
+    """An insertion-ordered memo bounded to the most recent entries.
+
+    Dynamic oracles draw lazily on first query, so an evicted key can never
+    be recomputed without perturbing the seeded stream; a lookup at or
+    below the eviction horizon therefore raises :class:`LookupError`
+    instead of silently re-drawing.  Keys must be mutually comparable and
+    arrive in (roughly) ascending order -- true for engine-driven queries.
+    """
+
+    __slots__ = ("_entries", "_limit", "_horizon", "_label")
+
+    def __init__(self, limit: int, label: str) -> None:
+        self._entries: Dict[Any, Any] = {}
+        self._limit = limit
+        self._horizon: Any = None
+        self._label = label
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Any) -> Any:
+        """The memoised value for *key*, or None when it is yet to be drawn."""
+        value = self._entries.get(key)
+        if value is None and self._horizon is not None and key <= self._horizon:
+            raise LookupError(
+                f"{self._label} {key!r} was evicted (only the most recent "
+                f"{self._limit} entries are retained); construct the oracle "
+                "with a larger retain_rounds when old rounds must stay "
+                "re-queryable, e.g. as a WindowSwitchOracle component whose "
+                "window exceeds the retention"
+            )
+        return value
+
+    def put(self, key: Any, value: Any) -> None:
+        self._entries[key] = value
+        while len(self._entries) > self._limit:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+            if self._horizon is None or oldest > self._horizon:
+                self._horizon = oldest
 
 
 class MobileOmissionOracle(MaskOracleBase):
@@ -58,6 +126,7 @@ class MobileOmissionOracle(MaskOracleBase):
         seed: int = 0,
         stable_from: Optional[Round] = None,
         rng: Optional[SeededRng] = None,
+        retain_rounds: Optional[int] = None,
     ) -> None:
         super().__init__(n)
         if not 0 <= faults <= n:
@@ -65,13 +134,13 @@ class MobileOmissionOracle(MaskOracleBase):
         self.faults = faults
         self.stable_from = stable_from
         self._stream = oracle_rng(seed, rng).stream("oracle.mobile")
-        self._silenced: Dict[Round, int] = {}
+        self._silenced = _BoundedMemo(_retention(retain_rounds), "mobile-omission round")
 
     def _silenced_mask(self, round: Round) -> int:
         mask = self._silenced.get(round)
         if mask is None:
             mask = mask_of(self._stream.sample(range(self.n), self.faults))
-            self._silenced[round] = mask
+            self._silenced.put(round, mask)
         return mask
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
@@ -107,6 +176,7 @@ class RotatingPartitionOracle(MaskOracleBase):
         seed: int = 0,
         heal_from: Optional[Round] = None,
         rng: Optional[SeededRng] = None,
+        retain_rounds: Optional[int] = None,
     ) -> None:
         super().__init__(n)
         if blocks <= 0:
@@ -120,30 +190,40 @@ class RotatingPartitionOracle(MaskOracleBase):
         self.churn = churn
         self.heal_from = heal_from
         self._stream = oracle_rng(seed, rng).stream("oracle.partition")
-        #: epoch -> per-process block assignment; epochs are computed in
-        #: order so that draws are reproducible regardless of query order.
-        self._assignments: List[List[int]] = []
+        #: the most recent epoch's per-process block assignment -- churn only
+        #: needs the previous epoch, so earlier assignments are not retained.
+        self._last_assignment: Optional[List[int]] = None
+        #: index of the next epoch to be drawn; epochs are computed in order
+        #: so that draws are reproducible regardless of query order.
+        self._next_epoch = 0
         #: epoch -> per-process block mask, precomputed once per epoch so
-        #: that ho_mask is a list lookup (the bitmask hot path).
-        self._epoch_masks: List[List[int]] = []
+        #: that ho_mask is a lookup (the bitmask hot path); bounded to the
+        #: most recent epochs.
+        self._epoch_masks = _BoundedMemo(_retention(retain_rounds), "partition epoch")
 
     def _masks_for_epoch(self, epoch: int) -> List[int]:
-        while len(self._epoch_masks) <= epoch:
+        masks = self._epoch_masks.get(epoch)
+        if masks is not None:
+            return masks
+        while self._next_epoch <= epoch:
             stream = self._stream
-            if not self._assignments:
+            if self._last_assignment is None:
                 assignment = [stream.randrange(self.blocks) for _ in range(self.n)]
             else:
-                previous = self._assignments[-1]
+                previous = self._last_assignment
                 assignment = [
                     stream.randrange(self.blocks) if stream.random() < self.churn else block
                     for block in previous
                 ]
-            self._assignments.append(assignment)
+            self._last_assignment = assignment
             block_masks = [0] * self.blocks
             for q, block in enumerate(assignment):
                 block_masks[block] |= 1 << q
-            self._epoch_masks.append([block_masks[block] for block in assignment])
-        return self._epoch_masks[epoch]
+            self._epoch_masks.put(
+                self._next_epoch, [block_masks[block] for block in assignment]
+            )
+            self._next_epoch += 1
+        return self._epoch_masks.get(epoch)
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
         if self.heal_from is not None and round >= self.heal_from:
@@ -178,6 +258,7 @@ class BurstyLossOracle(MaskOracleBase):
         seed: int = 0,
         stable_from: Optional[Round] = None,
         rng: Optional[SeededRng] = None,
+        retain_rounds: Optional[int] = None,
     ) -> None:
         super().__init__(n)
         for name, value in (
@@ -198,7 +279,9 @@ class BurstyLossOracle(MaskOracleBase):
         #: ``_burst_state[p]`` has bit q set iff link q -> p is in a burst.
         self._burst_state: List[int] = [0] * n
         self._computed_round: Round = 0
-        self._memo: Dict[Tuple[Round, ProcessId], int] = {}
+        self._memo = _BoundedMemo(
+            _retention(retain_rounds) * n, "bursty-loss (round, process)"
+        )
 
     def _advance_to(self, round: Round) -> None:
         while self._computed_round < round:
@@ -222,13 +305,15 @@ class BurstyLossOracle(MaskOracleBase):
                         heard |= bit
                     bit <<= 1
                 self._burst_state[p] = new_state
-                self._memo[(current, p)] = heard
+                self._memo.put((current, p), heard)
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
         if self.stable_from is not None and round >= self.stable_from:
             return self._full
         self._advance_to(round)
-        return self._memo[(round, process)]
+        # get() raises for rounds already evicted from the bounded memo;
+        # link states only advance forward, so re-drawing is impossible.
+        return self._memo.get((round, process))
 
 
 class EventuallyStableCoordinatorOracle(MaskOracleBase):
@@ -254,6 +339,7 @@ class EventuallyStableCoordinatorOracle(MaskOracleBase):
         background_probability: float = 0.4,
         seed: int = 0,
         rng: Optional[SeededRng] = None,
+        retain_rounds: Optional[int] = None,
     ) -> None:
         super().__init__(n)
         if stable_from <= 0:
@@ -271,8 +357,9 @@ class EventuallyStableCoordinatorOracle(MaskOracleBase):
         self.flaky_probability = flaky_probability
         self.background_probability = background_probability
         self._stream = oracle_rng(seed, rng).stream("oracle.coordinator")
-        self._pretenders: Dict[Round, ProcessId] = {}
-        self._memo: Dict[Tuple[Round, ProcessId], int] = {}
+        retain = _retention(retain_rounds)
+        self._pretenders = _BoundedMemo(retain, "coordinator round")
+        self._memo = _BoundedMemo(retain * n, "coordinator (round, process)")
 
     def coordinator(self, round: Round) -> ProcessId:
         """The coordinator of *round*: the pretender before stabilisation, fixed after."""
@@ -281,7 +368,7 @@ class EventuallyStableCoordinatorOracle(MaskOracleBase):
         pretender = self._pretenders.get(round)
         if pretender is None:
             pretender = self._stream.randrange(self.n)
-            self._pretenders[round] = pretender
+            self._pretenders.put(round, pretender)
         return pretender
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
@@ -297,11 +384,12 @@ class EventuallyStableCoordinatorOracle(MaskOracleBase):
             else:
                 mask &= ~(1 << pretender)
             mask |= 1 << process
-            self._memo[key] = mask
+            self._memo.put(key, mask)
         return mask
 
 
 __all__ = [
+    "MEMO_RETAIN_ROUNDS",
     "MobileOmissionOracle",
     "RotatingPartitionOracle",
     "BurstyLossOracle",

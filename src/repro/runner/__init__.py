@@ -15,10 +15,15 @@ The runner turns single simulation runs into experiments:
 from .registry import REGISTRY, TaskRegistry
 from .sweep import (
     SCHEMA,
+    CsvSink,
+    JsonlSink,
+    JsonSummarySink,
+    RecordSink,
     RunRecord,
     RunSpec,
     SweepResult,
     build_grid,
+    load_jsonl_records,
     run_measurement_sweep,
     run_one,
     run_sweep,
@@ -31,6 +36,11 @@ __all__ = [
     "RunSpec",
     "RunRecord",
     "SweepResult",
+    "RecordSink",
+    "JsonlSink",
+    "CsvSink",
+    "JsonSummarySink",
+    "load_jsonl_records",
     "build_grid",
     "run_sweep",
     "run_one",

@@ -1,28 +1,54 @@
 """Command-line sweep executor: ``python -m repro.runner``.
 
-Runs a (scenario × fault-model × seed) grid, prints a fixed-width report
-and optionally writes the machine-readable JSON summary consumed by CI::
+Runs a (scenario × fault-model × size × seed) grid, prints a fixed-width
+report and optionally writes machine-readable outputs: the JSON summary
+consumed by CI, a CSV of the per-run records, and a streamed JSONL file
+(one line per finished run) that a killed grid can be resumed from::
 
     python -m repro.runner \
         --scenarios ho-stack chandra-toueg \
         --fault-models fault-free crash-stop \
-        --seeds 0 1 --workers 2 --json sweep.json
+        --seeds 0 1 --ns 4 8 --workers 2 \
+        --jsonl sweep.jsonl --json sweep.json
+
+    # the box died mid-grid?  completed cells are skipped:
+    python -m repro.runner ... --jsonl sweep.jsonl --resume-from sweep.jsonl
+
+Both grid axes are validated against the registry up front -- a typo in a
+scenario *or fault-model* name exits with code 2 and the known list,
+instead of silently turning every cell into an errored run.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .registry import REGISTRY
-from .sweep import _resolve_workers, build_grid, run_sweep
+from .sweep import JsonlSink, _resolve_workers, build_grid, run_sweep
+
+
+def _parse_params(entries: Optional[Sequence[str]]) -> Dict[str, object]:
+    """Parse repeated ``--param key=value`` flags (values as JSON, else str)."""
+    params: Dict[str, object] = {}
+    for entry in entries or ():
+        key, separator, raw = entry.partition("=")
+        if not separator or not key:
+            raise ValueError(f"--param expects key=value, got {entry!r}")
+        try:
+            params[key] = json.loads(raw)
+        except json.JSONDecodeError:
+            params[key] = raw
+    return params
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runner",
-        description="Run a (scenario x fault-model x seed) sweep grid.",
+        description="Run a (scenario x fault-model x size x seed) sweep grid.",
     )
     parser.add_argument(
         "--scenarios",
@@ -45,6 +71,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--n", type=int, default=4, help="system size (default: 4)")
     parser.add_argument(
+        "--ns",
+        nargs="+",
+        type=int,
+        default=None,
+        help="sweep several system sizes (overrides --n), e.g. --ns 4 8 16",
+    )
+    parser.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="extra scenario parameter (repeatable); VALUE is parsed as JSON "
+        "when possible, e.g. --param rounds=120 --param churn=0.5",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -55,9 +96,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--csv", default=None, help="write one CSV row per run here"
     )
     parser.add_argument(
+        "--jsonl",
+        default=None,
+        help="stream one JSON line per finished run here (flushed per run, "
+        "so a killed grid can be resumed)",
+    )
+    parser.add_argument(
+        "--resume-from",
+        default=None,
+        help="JSONL file of a previous run of this grid; completed cells are "
+        "skipped (pair with --jsonl on the same path to keep one file)",
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
-        help="list registered scenarios and measurements, then exit",
+        help="list registered scenarios, fault models and measurements, then exit",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress the per-run progress lines"
@@ -67,6 +120,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list:
         print("scenarios:")
         for name in REGISTRY.scenario_names():
+            print(f"  {name}")
+        print("fault models:")
+        for name in REGISTRY.fault_model_names():
             print(f"  {name}")
         print("measurements:")
         for name in REGISTRY.measurement_names():
@@ -82,29 +138,66 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    specs = build_grid(scenarios, args.fault_models, args.seeds, n=args.n)
+    known_fault_models = REGISTRY.fault_model_names()
+    unknown = [name for name in args.fault_models if name not in known_fault_models]
+    if unknown:
+        print(
+            f"error: unknown fault model(s) {', '.join(unknown)}; "
+            f"known: {', '.join(known_fault_models)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        params = _parse_params(args.param)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    sizes = args.ns if args.ns else [args.n]
+    specs = build_grid(scenarios, args.fault_models, args.seeds, ns=sizes, **params)
     workers = _resolve_workers(args.workers, len(specs))
     print(
         f"sweep: {len(scenarios)} scenario(s) x {len(args.fault_models)} fault "
-        f"model(s) x {len(args.seeds)} seed(s) = {len(specs)} runs "
-        f"({workers} worker(s))"
+        f"model(s) x {len(sizes)} size(s) x {len(args.seeds)} seed(s) = "
+        f"{len(specs)} runs ({workers} worker(s))"
     )
 
     on_record = None
     if not args.quiet:
         on_record = lambda record: print(f"  done {record.row()}")  # noqa: E731
 
-    result = run_sweep(specs, workers=workers, on_record=on_record)
+    sinks = []
+    if args.jsonl:
+        # realpath, not abspath: opening the resume file in "w" mode through
+        # a symlink/alias would truncate it before the resume records load.
+        append = args.resume_from is not None and os.path.realpath(
+            args.resume_from
+        ) == os.path.realpath(args.jsonl)
+        sinks.append(JsonlSink(args.jsonl, append=append))
+
+    result = run_sweep(
+        specs,
+        workers=workers,
+        on_record=on_record,
+        sinks=sinks,
+        resume_from=args.resume_from,
+    )
 
     print()
     for line in result.report_lines():
         print(line)
-    print(f"\nwall time: {result.wall_seconds:.2f}s with {result.workers} worker(s)")
+    resumed = f", {result.resumed} cell(s) resumed" if result.resumed else ""
+    print(
+        f"\nwall time: {result.wall_seconds:.2f}s with {result.workers} "
+        f"worker(s){resumed}"
+    )
 
     if args.json:
         result.write_json(args.json)
         print(f"JSON summary written to {args.json}")
-
+    if args.jsonl:
+        print(f"JSONL records streamed to {args.jsonl}")
     if args.csv:
         result.write_csv(args.csv)
         print(f"CSV records written to {args.csv}")

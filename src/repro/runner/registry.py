@@ -11,6 +11,10 @@ closure does not).  Two namespaces exist:
   Measurement`` or a sequence thereof (the ``measure_*`` functions of
   :mod:`repro.workloads.measure` register themselves here).
 
+A third, flat namespace lists the known *fault models* (the shared axis
+every scenario accepts), so the CLI can validate a grid before spending
+hours executing it.
+
 The registry itself depends on nothing above the standard library, so the
 import direction is strictly ``workloads -> runner.registry`` and worker
 processes populate it by importing :mod:`repro.workloads`.
@@ -27,6 +31,7 @@ class TaskRegistry:
     def __init__(self) -> None:
         self._scenarios: Dict[str, Callable] = {}
         self._measurements: Dict[str, Callable] = {}
+        self._fault_models: Dict[str, None] = {}
 
     # -- registration -------------------------------------------------- #
 
@@ -39,6 +44,10 @@ class TaskRegistry:
         """Register measurement *name*; returns *fn* so it can be used as a decorator."""
         self._measurements[name] = fn
         return fn
+
+    def register_fault_model(self, name: str) -> None:
+        """Declare *name* a known fault model (the shared scenario axis)."""
+        self._fault_models[name] = None
 
     # -- lookup -------------------------------------------------------- #
 
@@ -69,6 +78,10 @@ class TaskRegistry:
     def measurement_names(self) -> List[str]:
         self._ensure_populated()
         return sorted(self._measurements)
+
+    def fault_model_names(self) -> List[str]:
+        self._ensure_populated()
+        return sorted(self._fault_models)
 
     def _ensure_populated(self) -> None:
         """Import the workload modules whose import side-effect registers tasks.

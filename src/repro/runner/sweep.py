@@ -1,4 +1,4 @@
-"""The multi-run experiment harness: (scenario × seed × fault-model) sweeps.
+"""The multi-run experiment harness: (scenario × fault-model × n × seed) sweeps.
 
 One simulation run is cheap; the interesting questions -- solve rates under
 a fault model, latency distributions across seeds, bound tightness across
@@ -6,18 +6,30 @@ system sizes -- need grids of runs.  This module executes such grids, in
 parallel worker processes when asked to, and aggregates the streamed-back
 per-run metrics deterministically:
 
-* :func:`build_grid` expands (scenarios × fault-models × seeds) into
-  :class:`RunSpec` entries;
+* :func:`build_grid` expands (scenarios × fault-models × sizes × param-sets
+  × seeds) into :class:`RunSpec` entries;
 * :func:`run_sweep` executes the specs (inline, or in a ``multiprocessing``
-  pool), streaming one :class:`RunRecord` per finished run;
+  pool), streaming one :class:`RunRecord` per finished run into any number
+  of :class:`RecordSink` consumers;
+* :class:`JsonlSink` persists one JSON line per finished run, flushed as
+  records stream back, and ``run_sweep(..., resume_from=path)`` reloads
+  such a file to skip the cells a killed grid already completed;
 * :class:`SweepResult` holds the records in grid order and computes
   seed-stable aggregates plus a machine-readable JSON summary
-  (``schema: repro-sweep/1``) for benchmark trajectories in CI.
+  (``schema: repro-sweep/2``) for benchmark trajectories in CI.
+
+Wire discipline: parallel workers return a slim, picklable
+:class:`RunRecord` -- the full ``ScenarioResult`` (which may carry an
+entire round trace) stays in the worker unless the caller opts in with
+``keep_results=True``.  Inline execution (``workers <= 1``) always keeps
+the in-process result attached, so consumers such as
+:func:`repro.workloads.compare_stacks` work unchanged.
 
 Determinism: every run is fully determined by its spec (the simulators are
 deterministic per seed), records are re-ordered into grid order regardless
 of worker completion order, and aggregates never include wall-clock times
--- so the same grid always yields byte-identical aggregates.
+-- so the same grid always yields byte-identical aggregates, whether it ran
+serially, in parallel, or resumed from a partial JSONL file.
 """
 
 from __future__ import annotations
@@ -27,7 +39,7 @@ import json
 import multiprocessing
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import (
     Any,
     Callable,
@@ -36,14 +48,38 @@ from typing import (
     List,
     Mapping,
     Optional,
+    Protocol,
     Sequence,
     Tuple,
+    runtime_checkable,
 )
 
 from .registry import REGISTRY
 
-#: JSON schema tag of the sweep summary.
-SCHEMA = "repro-sweep/1"
+#: JSON schema tag of the sweep summary (v2: per-run ``params``, per-group
+#: ``n``, error-free ``solve_rate`` denominators, ``resumed`` count).
+SCHEMA = "repro-sweep/2"
+
+
+def spec_key(
+    scenario: str,
+    fault_model: str,
+    n: int,
+    seed: int,
+    params: Iterable[Tuple[str, Any]] = (),
+) -> str:
+    """The canonical identity of one grid cell, as a compact JSON string.
+
+    Includes the extra params (cells differing only in params are distinct
+    cells) and is stable across a JSON round trip, so records reloaded from
+    a JSONL file match the specs that produced them.
+    """
+    return json.dumps(
+        [scenario, fault_model, int(n), int(seed), dict(params)],
+        sort_keys=True,
+        separators=(",", ":"),
+        default=str,
+    )
 
 
 @dataclass(frozen=True)
@@ -78,10 +114,21 @@ class RunSpec:
     def key(self) -> Tuple[str, str, int, int]:
         return (self.scenario, self.fault_model, self.n, self.seed)
 
+    @property
+    def cell_key(self) -> str:
+        """The resume-matching identity of this cell (includes params)."""
+        return spec_key(self.scenario, self.fault_model, self.n, self.seed, self.params)
+
 
 @dataclass(frozen=True)
 class RunRecord:
-    """The streamed-back outcome of one run (metrics flattened for JSON)."""
+    """The streamed-back outcome of one run (metrics flattened for JSON).
+
+    This is the *wire record*: everything in it is picklable and
+    JSON-serialisable, so it crosses process boundaries and restarts
+    cheaply.  The full in-process ``ScenarioResult`` rides along only in
+    :attr:`result`, which never crosses the worker pool by default.
+    """
 
     scenario: str
     fault_model: str
@@ -96,10 +143,18 @@ class RunRecord:
     last_decision_time: Optional[float]
     messages_sent: int
     wall_seconds: float
+    params: Tuple[Tuple[str, Any], ...] = ()
     error: Optional[str] = None
     #: the full ScenarioResult (verdict + metrics); carried for in-process
-    #: consumers such as ``compare_stacks``, excluded from the JSON summary.
+    #: consumers such as ``compare_stacks``, excluded from the JSON summary
+    #: and stripped before a parallel worker returns unless the sweep was
+    #: started with ``keep_results=True``.
     result: Any = field(default=None, compare=False, repr=False)
+
+    @property
+    def cell_key(self) -> str:
+        """The resume-matching identity of the cell this record came from."""
+        return spec_key(self.scenario, self.fault_model, self.n, self.seed, self.params)
 
     def to_json_dict(self) -> Dict[str, Any]:
         """The per-run entry of the JSON summary (wall time included, result not)."""
@@ -108,6 +163,7 @@ class RunRecord:
             "fault_model": self.fault_model,
             "seed": self.seed,
             "n": self.n,
+            "params": dict(self.params),
             "solved": self.solved,
             "safe": self.safe,
             "terminated": self.terminated,
@@ -119,6 +175,28 @@ class RunRecord:
             "wall_seconds": round(self.wall_seconds, 6),
             "error": self.error,
         }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "RunRecord":
+        """Rebuild a wire record from one JSONL line / JSON-summary entry."""
+        params = payload.get("params") or {}
+        return cls(
+            scenario=payload["scenario"],
+            fault_model=payload["fault_model"],
+            seed=payload["seed"],
+            n=payload["n"],
+            solved=payload["solved"],
+            safe=payload["safe"],
+            terminated=payload["terminated"],
+            decided_processes=payload["decided_processes"],
+            scope_size=payload["scope_size"],
+            first_decision_time=payload["first_decision_time"],
+            last_decision_time=payload["last_decision_time"],
+            messages_sent=payload["messages_sent"],
+            wall_seconds=payload["wall_seconds"],
+            params=tuple(sorted(params.items())),
+            error=payload.get("error"),
+        )
 
     def row(self) -> str:
         """A fixed-width text row for reports."""
@@ -159,6 +237,7 @@ def execute_run(spec: RunSpec) -> RunRecord:
             last_decision_time=None,
             messages_sent=0,
             wall_seconds=time.perf_counter() - started,
+            params=spec.params,
             error=f"{type(exc).__name__}: {exc}",
         )
     wall = time.perf_counter() - started
@@ -177,14 +256,162 @@ def execute_run(spec: RunSpec) -> RunRecord:
         last_decision_time=metrics.last_decision_time,
         messages_sent=metrics.messages_sent,
         wall_seconds=wall,
+        params=spec.params,
         result=result,
     )
 
 
-def _execute_indexed(job: Tuple[int, RunSpec]) -> Tuple[int, "RunRecord"]:
-    """Run one grid cell, tagged with its grid position (picklable for workers)."""
-    index, spec = job
-    return index, execute_run(spec)
+def _execute_indexed(job: Tuple[int, RunSpec, bool]) -> Tuple[int, "RunRecord"]:
+    """Run one grid cell, tagged with its grid position (picklable for workers).
+
+    Unless the sweep opted into ``keep_results``, the in-process result is
+    stripped *inside the worker*, so only the slim wire record is pickled
+    back through the pool.
+    """
+    index, spec, keep_results = job
+    record = execute_run(spec)
+    if not keep_results and record.result is not None:
+        record = replace(record, result=None)
+    return index, record
+
+
+# --------------------------------------------------------------------------- #
+# record sinks: streamed persistence of finished runs
+# --------------------------------------------------------------------------- #
+
+
+@runtime_checkable
+class RecordSink(Protocol):
+    """Where :func:`run_sweep` streams finished runs, one record at a time.
+
+    ``write`` is called in completion order as each record arrives (only
+    for freshly executed cells -- cells reloaded via ``resume_from`` are
+    already persisted); ``close`` is called exactly once when the sweep
+    finishes, even on error.
+    """
+
+    def write(self, record: RunRecord) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def _ensure_parent(path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+
+
+class JsonlSink:
+    """One JSON line per finished run, flushed immediately.
+
+    The flush-per-record discipline is what makes sweeps resumable: when a
+    10k-cell grid is killed, every completed cell is already on disk, and
+    ``run_sweep(..., resume_from=path)`` picks up where it died.  Pass
+    ``append=True`` when resuming into the same file.
+    """
+
+    def __init__(self, path: str, append: bool = False) -> None:
+        _ensure_parent(path)
+        self.path = path
+        self._handle = open(path, "a" if append else "w", encoding="utf-8")
+        if append and self._handle.tell() > 0:
+            # A killed writer can leave a torn final line without a newline;
+            # appending straight after it would glue the next record onto the
+            # torn fragment and lose both.  Start appends on a fresh line.
+            with open(path, "rb") as probe:
+                probe.seek(-1, os.SEEK_END)
+                if probe.read(1) != b"\n":
+                    self._handle.write("\n")
+                    self._handle.flush()
+
+    def write(self, record: RunRecord) -> None:
+        # default=str matches spec_key/_csv_row: non-JSON-native params
+        # (frozensets, tuples of tuples, ...) must not abort a running sweep.
+        self._handle.write(
+            json.dumps(record.to_json_dict(), separators=(",", ":"), default=str)
+        )
+        self._handle.write("\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+def _csv_row(record: RunRecord) -> Dict[str, Any]:
+    """A CSV-safe projection of one record (params JSON-encoded in place)."""
+    row = record.to_json_dict()
+    row["params"] = json.dumps(row["params"], sort_keys=True, default=str)
+    return row
+
+
+class CsvSink:
+    """One CSV row per finished run (header first, rows flushed as written)."""
+
+    def __init__(self, path: str) -> None:
+        _ensure_parent(path)
+        self.path = path
+        self._handle = open(path, "w", encoding="utf-8", newline="")
+        self._writer = csv.DictWriter(self._handle, fieldnames=SweepResult.CSV_FIELDS)
+        self._writer.writeheader()
+        self._handle.flush()
+
+    def write(self, record: RunRecord) -> None:
+        self._writer.writerow(_csv_row(record))
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+
+class JsonSummarySink:
+    """Buffer records and write the full JSON summary on close.
+
+    A summary holds aggregates over the whole grid, so it cannot be flushed
+    per record; records are sorted into a canonical order on close, making
+    the output independent of worker completion order.  When the sweep was
+    resumed, the sink only sees the freshly executed cells -- prefer
+    :meth:`SweepResult.write_json` for a summary of the merged grid.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._records: List[RunRecord] = []
+        self._closed = False
+
+    def write(self, record: RunRecord) -> None:
+        self._records.append(record)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        records = sorted(self._records, key=lambda r: (r.scenario, r.fault_model, r.cell_key))
+        SweepResult(records=records, workers=0).write_json(self.path)
+
+
+def load_jsonl_records(path: str) -> List[RunRecord]:
+    """Reload the wire records persisted by a :class:`JsonlSink`.
+
+    Tolerates the torn final line a killed process can leave behind (and
+    blank lines); later lines win when a cell appears twice, so appended
+    resume runs supersede nothing and plain re-runs supersede everything.
+    """
+    records: Dict[str, RunRecord] = {}
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail of a killed run
+            if not isinstance(payload, dict) or "scenario" not in payload:
+                continue
+            record = RunRecord.from_json_dict(payload)
+            records[record.cell_key] = record
+    return list(records.values())
 
 
 @dataclass
@@ -194,6 +421,9 @@ class SweepResult:
     records: List[RunRecord]
     workers: int = 1
     wall_seconds: float = 0.0
+    #: how many cells were reloaded from a ``resume_from`` file instead of
+    #: being executed.
+    resumed: int = 0
 
     def __iter__(self):
         return iter(self.records)
@@ -227,31 +457,41 @@ class SweepResult:
         return matches[0]
 
     def aggregate(self) -> Dict[str, Dict[str, Any]]:
-        """Seed-stable aggregates per ``scenario/fault_model`` group.
+        """Seed-stable aggregates per ``(scenario, fault_model, n)`` group.
 
         Wall-clock times are deliberately excluded: aggregates depend only on
         the (deterministic) simulation outcomes, so re-running the same grid
-        -- serially or in parallel -- yields identical aggregates.
+        -- serially, in parallel, or resumed from a partial JSONL -- yields
+        identical aggregates.  ``solve_rate`` is computed over non-errored
+        runs only (``None`` when every run errored): an infrastructure
+        failure must not deflate the scientific solve rate.  Group keys gain
+        an ``/n=<size>`` suffix exactly when the grid spans several system
+        sizes.
         """
-        groups: Dict[Tuple[str, str], List[RunRecord]] = {}
+        groups: Dict[Tuple[str, str, int], List[RunRecord]] = {}
         for record in self.records:
-            groups.setdefault((record.scenario, record.fault_model), []).append(record)
+            groups.setdefault(
+                (record.scenario, record.fault_model, record.n), []
+            ).append(record)
+        multi_n = len({n for (_, _, n) in groups}) > 1
         aggregates: Dict[str, Dict[str, Any]] = {}
-        for (scenario, fault_model) in sorted(groups):
-            group = sorted(groups[(scenario, fault_model)], key=lambda r: (r.n, r.seed))
+        for (scenario, fault_model, n) in sorted(groups):
+            group = sorted(
+                groups[(scenario, fault_model, n)], key=lambda r: (r.seed, r.cell_key)
+            )
+            ok = [r for r in group if not r.error]
+            solved = sum(1 for r in ok if r.solved)
             latencies = [
                 r.last_decision_time for r in group if r.last_decision_time is not None
             ]
-            aggregates[f"{scenario}/{fault_model}"] = {
+            name = f"{scenario}/{fault_model}" + (f"/n={n}" if multi_n else "")
+            aggregates[name] = {
                 "runs": len(group),
-                "errors": sum(1 for r in group if r.error),
-                "solved": sum(1 for r in group if r.solved),
-                "solve_rate": sum(1 for r in group if r.solved) / len(group),
-                "all_safe": (
-                    all(r.safe for r in group if not r.error)
-                    if any(not r.error for r in group)
-                    else None
-                ),
+                "n": n,
+                "errors": len(group) - len(ok),
+                "solved": solved,
+                "solve_rate": (solved / len(ok)) if ok else None,
+                "all_safe": all(r.safe for r in ok) if ok else None,
                 "mean_last_decision_time": (
                     sum(latencies) / len(latencies) if latencies else None
                 ),
@@ -262,11 +502,12 @@ class SweepResult:
         return aggregates
 
     def to_json(self) -> Dict[str, Any]:
-        """The machine-readable summary (``schema: repro-sweep/1``)."""
+        """The machine-readable summary (``schema: repro-sweep/2``)."""
         return {
             "schema": SCHEMA,
             "grid_size": len(self.records),
             "workers": self.workers,
+            "resumed": self.resumed,
             "wall_seconds": round(self.wall_seconds, 6),
             "runs": [record.to_json_dict() for record in self.records],
             "aggregates": self.aggregate(),
@@ -274,10 +515,9 @@ class SweepResult:
 
     def write_json(self, path: str) -> None:
         """Write the JSON summary to *path* (creating parent directories)."""
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
+        _ensure_parent(path)
         with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_json(), handle, indent=2, sort_keys=False)
+            json.dump(self.to_json(), handle, indent=2, sort_keys=False, default=str)
             handle.write("\n")
 
     #: column order of the CSV export (the per-run JSON fields).
@@ -286,6 +526,7 @@ class SweepResult:
         "fault_model",
         "seed",
         "n",
+        "params",
         "solved",
         "safe",
         "terminated",
@@ -302,21 +543,15 @@ class SweepResult:
         """Write one CSV row per run to *path* (creating parent directories).
 
         Columns match the per-run entries of the JSON summary, in grid
-        order, so spreadsheet/pandas consumers get the same records CI gets.
+        order, so spreadsheet/pandas consumers get the same records CI gets
+        (``params`` is JSON-encoded into its cell).
         """
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        # Columns come from the records themselves so the CSV can never
-        # drift out of sync with the JSON export; CSV_FIELDS documents the
-        # expected order and covers the empty-sweep header.
-        fields = (
-            list(self.records[0].to_json_dict()) if self.records else list(self.CSV_FIELDS)
-        )
+        _ensure_parent(path)
         with open(path, "w", encoding="utf-8", newline="") as handle:
-            writer = csv.DictWriter(handle, fieldnames=fields)
+            writer = csv.DictWriter(handle, fieldnames=self.CSV_FIELDS)
             writer.writeheader()
             for record in self.records:
-                writer.writerow(record.to_json_dict())
+                writer.writerow(_csv_row(record))
 
     def report_lines(self) -> List[str]:
         """Fixed-width rows plus aggregate lines, for text reports."""
@@ -339,13 +574,31 @@ def build_grid(
     fault_models: Sequence[str],
     seeds: Sequence[int],
     n: int = 4,
+    ns: Optional[Sequence[int]] = None,
+    param_sets: Optional[Sequence[Mapping[str, Any]]] = None,
     **params: Any,
 ) -> List[RunSpec]:
-    """Expand a (scenario × fault-model × seed) grid into run specs."""
+    """Expand a (scenario × fault-model × size × param-set × seed) grid.
+
+    *ns* sweeps several system sizes (overriding the single *n*); each
+    mapping in *param_sets* is overlaid on the shared ``**params`` and
+    becomes one slice of the grid -- so bound-tightness experiments can
+    cross sizes and knob settings in one grid.  With neither given, the
+    classic single-axis (scenario × fault-model × seed) grid comes back
+    unchanged.
+    """
+    sizes = list(ns) if ns is not None else [n]
+    if not sizes:
+        raise ValueError("at least one system size is required")
+    overlays = [{}] if param_sets is None else [dict(entry) for entry in param_sets]
+    if not overlays:
+        raise ValueError("param_sets, when given, must not be empty")
     return [
-        RunSpec.make(scenario, fault_model, seed, n=n, **params)
+        RunSpec.make(scenario, fault_model, seed, n=size, **{**params, **overlay})
         for scenario in scenarios
         for fault_model in fault_models
+        for size in sizes
+        for overlay in overlays
         for seed in seeds
     ]
 
@@ -363,42 +616,85 @@ def run_sweep(
     specs: Sequence[RunSpec],
     workers: Optional[int] = None,
     on_record: Optional[Callable[[RunRecord], None]] = None,
+    keep_results: bool = False,
+    sinks: Sequence[RecordSink] = (),
+    resume_from: Optional[str] = None,
 ) -> SweepResult:
     """Execute *specs*, optionally in parallel worker processes.
 
     ``workers`` <= 1 (or ``None``) runs inline; larger values fan the grid
-    out over a ``multiprocessing`` pool.  *on_record* is invoked as each
-    run's record streams back (in completion order); the returned
-    :class:`SweepResult` always holds the records in grid order, so results
-    are independent of worker scheduling.
+    out over a ``multiprocessing`` pool.  In the parallel path only the slim
+    wire record is pickled back -- the full ``ScenarioResult`` stays in the
+    worker unless ``keep_results=True`` (inline runs always keep it, so
+    in-process consumers are unaffected by the wire discipline).
+
+    *on_record* is invoked and every sink in *sinks* written as each run's
+    record streams back (in completion order); sinks are closed when the
+    sweep finishes, even on error.  *resume_from* names a JSONL file
+    written by a previous (possibly killed) run of the same grid: cells
+    whose key appears there with a non-error outcome are reloaded instead
+    of re-executed (errored cells are retried), and neither *on_record* nor
+    the sinks see the reloaded records -- they are already persisted.
+
+    The returned :class:`SweepResult` always holds the records in grid
+    order, so results are independent of worker scheduling and of how often
+    the grid was killed and resumed.
     """
     specs = list(specs)
-    worker_count = _resolve_workers(workers, len(specs))
     started = time.perf_counter()
-    if worker_count == 1:
-        records = []
-        for spec in specs:
-            record = execute_run(spec)
-            if on_record is not None:
-                on_record(record)
-            records.append(record)
-    else:
-        # Index by grid position, not by spec fields: specs differing only in
-        # extra params would collide on any field-derived key.
-        slots: List[Optional[RunRecord]] = [None] * len(specs)
-        with multiprocessing.Pool(processes=worker_count) as pool:
-            for index, record in pool.imap_unordered(
-                _execute_indexed, list(enumerate(specs)), chunksize=1
-            ):
-                if on_record is not None:
-                    on_record(record)
+
+    slots: List[Optional[RunRecord]] = [None] * len(specs)
+    if resume_from and os.path.exists(resume_from):
+        completed = {
+            record.cell_key: record
+            for record in load_jsonl_records(resume_from)
+            if record.error is None
+        }
+        for index, spec in enumerate(specs):
+            record = completed.get(spec.cell_key)
+            if record is not None:
                 slots[index] = record
-        records = [record for record in slots if record is not None]
-        assert len(records) == len(specs)
+    resumed = sum(1 for slot in slots if slot is not None)
+
+    pending = [(index, spec) for index, spec in enumerate(specs) if slots[index] is None]
+    worker_count = _resolve_workers(workers, len(pending))
+    sinks = list(sinks)
+
+    def emit(record: RunRecord) -> None:
+        # Sinks first: a record is persisted before any consumer callback
+        # sees it, so a crashing callback never loses completed work.
+        for sink in sinks:
+            sink.write(record)
+        if on_record is not None:
+            on_record(record)
+
+    try:
+        if worker_count == 1:
+            for index, spec in pending:
+                record = execute_run(spec)
+                emit(record)
+                slots[index] = record
+        else:
+            # Index by grid position, not by spec fields: the position is
+            # unambiguous even for specs differing only in extra params.
+            jobs = [(index, spec, keep_results) for index, spec in pending]
+            with multiprocessing.Pool(processes=worker_count) as pool:
+                for index, record in pool.imap_unordered(
+                    _execute_indexed, jobs, chunksize=1
+                ):
+                    emit(record)
+                    slots[index] = record
+    finally:
+        for sink in sinks:
+            sink.close()
+
+    records = [record for record in slots if record is not None]
+    assert len(records) == len(specs)
     return SweepResult(
         records=records,
         workers=worker_count,
         wall_seconds=time.perf_counter() - started,
+        resumed=resumed,
     )
 
 
@@ -443,6 +739,12 @@ __all__ = [
     "RunSpec",
     "RunRecord",
     "SweepResult",
+    "RecordSink",
+    "JsonlSink",
+    "CsvSink",
+    "JsonSummarySink",
+    "load_jsonl_records",
+    "spec_key",
     "build_grid",
     "run_sweep",
     "run_one",

@@ -142,6 +142,7 @@ def run_round_adversary(
     family: str = "mobile-omission",
     rounds: int = 80,
     stabilize_round: Optional[int] = None,
+    keep_trace: bool = False,
     **params: Any,
 ) -> ScenarioResult:
     """Run OneThirdRule under a dynamic adversary family crossed with *fault_model*.
@@ -149,7 +150,10 @@ def run_round_adversary(
     The environment is ``IntersectOracle(family, overlay)``: the dynamic
     family provides the churn, the fault-model overlay the static/transient
     crashes or extra loss.  Latency is measured in rounds (the round-level
-    clock).
+    clock).  *keep_trace* attaches the full :class:`~repro.core.types.RunTrace`
+    as ``extra["trace"]`` for in-process consumers (predicate checks on the
+    heard-of collection); such results are deliberately heavy, which is why
+    the sweep executor ships only slim wire records across worker pools.
     """
     if fault_model not in FAULT_MODELS:
         raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
@@ -168,6 +172,13 @@ def run_round_adversary(
     # messages, so a decision is likely but not certain within the horizon.
     trace = machine.run_until_decision(max_rounds=rounds, scope=scope)
     verdict = check_consensus(trace, values, scope=scope)
+    extra: Dict[str, Any] = {
+        "family": family,
+        "stabilize_round": stabilize_round,
+        "rounds": rounds,
+    }
+    if keep_trace:
+        extra["trace"] = trace
     return ScenarioResult(
         stack=f"ho-round/{family}",
         fault_model=fault_model,
@@ -175,7 +186,7 @@ def run_round_adversary(
         seed=seed,
         verdict=verdict,
         metrics=metrics_from_trace(trace, scope=scope),
-        extra={"family": family, "stabilize_round": stabilize_round, "rounds": rounds},
+        extra=extra,
     )
 
 

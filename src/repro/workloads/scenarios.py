@@ -306,6 +306,8 @@ STACKS = ("ho-stack", "chandra-toueg", "aguilera")
 REGISTRY.register_scenario("ho-stack", run_ho_stack)
 REGISTRY.register_scenario("chandra-toueg", run_chandra_toueg)
 REGISTRY.register_scenario("aguilera", run_aguilera)
+for _fault_model in FAULT_MODELS:
+    REGISTRY.register_fault_model(_fault_model)
 
 
 def compare_stacks(
@@ -318,6 +320,9 @@ def compare_stacks(
 
     The grid goes through the :mod:`repro.runner` sweep executor; pass
     *workers* > 1 to fan the matrix out over parallel worker processes.
+    This consumer needs the full in-process ``ScenarioResult`` of every
+    cell, so it opts into ``keep_results`` (parallel workers return only
+    the slim wire record by default).
     """
     from ..runner.sweep import RunSpec, run_sweep
 
@@ -326,7 +331,7 @@ def compare_stacks(
         for fault_model in fault_models
         for stack in STACKS
     ]
-    sweep = run_sweep(specs, workers=workers)
+    sweep = run_sweep(specs, workers=workers, keep_results=True)
     results: List[ScenarioResult] = []
     for record in sweep.records:
         if record.result is None:

@@ -142,3 +142,71 @@ class TestAdapters:
         assert outer(1, 0) == frozenset({0, 1})
         assert outer(3, 0) == frozenset({0, 1, 2, 3})
         assert outer(100, 0) == frozenset({0, 1, 2})
+
+
+class TestStatefulComponentIsolation:
+    """Regression: combinators must query every component every round.
+
+    The old short-circuit (``if not mask: break`` / ``if mask == full:
+    break``) skipped queries to later components; a skipped *stateful*
+    component consumes its seeded sub-stream differently depending on
+    sibling outcomes, violating the documented rule that concerns cannot
+    perturb each other.
+    """
+
+    def _drive(self, oracle, n, rounds):
+        return [oracle.ho_mask(r, p) for r in range(1, rounds + 1) for p in range(n)]
+
+    def test_intersect_queries_stateful_siblings_behind_an_empty_mask(self):
+        from repro.adversaries import EventuallyStableCoordinatorOracle
+
+        n, rounds = 4, 12
+
+        def blackout(round, process):
+            # empties the accumulated mask on odd rounds BEFORE the stateful
+            # component is reached; with the old short-circuit the stateful
+            # oracle was only queried on even rounds.
+            return [] if round % 2 else range(n)
+
+        stateful = EventuallyStableCoordinatorOracle(n, stable_from=100, seed=5)
+        composed = IntersectOracle(n, blackout, stateful)
+        self._drive(composed, n, rounds)
+
+        standalone = EventuallyStableCoordinatorOracle(n, stable_from=100, seed=5)
+        assert self._drive(stateful, n, rounds)[: n * rounds] == self._drive(
+            standalone, n, rounds
+        ), "stateful component's draw sequence was perturbed by its sibling"
+
+    def test_union_queries_stateful_siblings_behind_a_full_mask(self):
+        from repro.adversaries import EventuallyStableCoordinatorOracle
+
+        n, rounds = 4, 12
+
+        def floodlight(round, process):
+            # fills the accumulated mask on odd rounds before the stateful
+            # component is reached (the Union short-circuit condition).
+            return range(n) if round % 2 else []
+
+        stateful = EventuallyStableCoordinatorOracle(n, stable_from=100, seed=5)
+        composed = UnionOracle(n, floodlight, stateful)
+        self._drive(composed, n, rounds)
+
+        standalone = EventuallyStableCoordinatorOracle(n, stable_from=100, seed=5)
+        assert self._drive(stateful, n, rounds)[: n * rounds] == self._drive(
+            standalone, n, rounds
+        )
+
+    def test_two_stateful_components_compose_reproducibly(self):
+        """Composing two lazily-drawing oracles replays per seed, cell by cell."""
+        from repro.adversaries import BurstyLossOracle, EventuallyStableCoordinatorOracle
+
+        n, rounds = 4, 15
+
+        def build():
+            return IntersectOracle(
+                n,
+                BurstyLossOracle(n, p_burst=0.4, p_recover=0.2, seed=3),
+                EventuallyStableCoordinatorOracle(n, stable_from=100, seed=8),
+            )
+
+        assert self._drive(build(), n, rounds) == self._drive(build(), n, rounds)

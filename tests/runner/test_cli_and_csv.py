@@ -1,8 +1,9 @@
-"""Tests for the runner CLI additions: --list (with measurements) and --csv."""
+"""Tests for the runner CLI: --list, --csv, axis validation, multi-axis grids."""
 
 from __future__ import annotations
 
 import csv
+import json
 
 from repro.runner.__main__ import main
 from repro.runner.registry import REGISTRY
@@ -68,3 +69,71 @@ class TestCli:
 
     def test_unknown_scenario_is_an_error(self, capsys):
         assert main(["--scenarios", "no-such-scenario", "--quiet"]) == 2
+
+    def test_list_includes_fault_models(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fault models:" in out
+        for name in REGISTRY.fault_model_names():
+            assert f"  {name}\n" in out
+
+    def test_unknown_fault_model_exits_2_with_known_list(self, capsys):
+        """A typo like crash-recover must not become a grid of errored runs."""
+        code = main(
+            [
+                "--scenarios", "chandra-toueg",
+                "--fault-models", "fault-free", "crash-recover",
+                "--quiet",
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "unknown fault model(s) crash-recover" in err
+        for name in REGISTRY.fault_model_names():
+            assert name in err
+
+    def test_multi_axis_flags_expand_the_grid(self, tmp_path, capsys):
+        json_path = tmp_path / "sweep.json"
+        code = main(
+            [
+                "--scenarios", "chandra-toueg",
+                "--fault-models", "fault-free",
+                "--seeds", "0",
+                "--ns", "3", "4",
+                "--param", "stabilization_time=20.0",
+                "--quiet",
+                "--json", str(json_path),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["grid_size"] == 2
+        assert sorted(run["n"] for run in payload["runs"]) == [3, 4]
+        assert all(
+            run["params"] == {"stabilization_time": 20.0} for run in payload["runs"]
+        )
+        assert set(payload["aggregates"]) == {
+            "chandra-toueg/fault-free/n=3",
+            "chandra-toueg/fault-free/n=4",
+        }
+
+    def test_malformed_param_exits_2(self, capsys):
+        assert main(["--param", "no-equals-sign", "--quiet"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_jsonl_then_resume_skips_completed_cells(self, tmp_path, capsys):
+        jsonl = tmp_path / "sweep.jsonl"
+        base = [
+            "--scenarios", "chandra-toueg",
+            "--fault-models", "fault-free",
+            "--quiet",
+            "--jsonl", str(jsonl),
+        ]
+        assert main(base + ["--seeds", "0"]) == 0
+        assert len(jsonl.read_text().splitlines()) == 1
+        # grow the grid and resume into the same file: only the new cell runs
+        code = main(base + ["--seeds", "0", "1", "--resume-from", str(jsonl)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 cell(s) resumed" in out
+        assert len(jsonl.read_text().splitlines()) == 2

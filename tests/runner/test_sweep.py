@@ -48,6 +48,27 @@ class TestGridAndRecords:
             ("b", "x", 5, 1),
         ]
 
+    def test_build_grid_multi_axis(self):
+        """--ns style size sweeps and per-scenario param sets cross the grid."""
+        specs = build_grid(
+            ["a"], ["x"], [0], ns=[4, 8],
+            param_sets=[{"rounds": 10}, {"rounds": 20}], churn=0.5,
+        )
+        assert [(s.n, s.kwargs) for s in specs] == [
+            (4, {"churn": 0.5, "rounds": 10}),
+            (4, {"churn": 0.5, "rounds": 20}),
+            (8, {"churn": 0.5, "rounds": 10}),
+            (8, {"churn": 0.5, "rounds": 20}),
+        ]
+        # cells differing only in params have distinct resume keys
+        assert len({s.cell_key for s in specs}) == 4
+
+    def test_build_grid_rejects_empty_axes(self):
+        with pytest.raises(ValueError):
+            build_grid(["a"], ["x"], [0], ns=[])
+        with pytest.raises(ValueError):
+            build_grid(["a"], ["x"], [0], param_sets=[])
+
     def test_execute_run_flattens_metrics(self):
         record = execute_run(RunSpec.make("chandra-toueg", "fault-free", seed=0, n=3))
         assert record.solved and record.safe and record.terminated
@@ -89,14 +110,48 @@ class TestSweepExecutor:
     def test_aggregate_contents(self):
         sweep = run_sweep(self.GRID, workers=4)
         aggregates = sweep.aggregate()
+        # single-size grids keep the classic scenario/fault_model keys
         assert set(aggregates) == {f"{stack}/crash-stop" for stack in STACKS}
         for aggregate in aggregates.values():
             assert aggregate["runs"] == 4
+            assert aggregate["n"] == 4
             assert aggregate["seeds"] == [0, 1, 2, 3]
             assert aggregate["errors"] == 0
             assert aggregate["all_safe"] is True
         # Every stack solves crash-stop (the paper's E8 matrix, row one).
         assert all(a["solve_rate"] == 1.0 for a in aggregates.values())
+
+    def test_aggregate_groups_multi_size_grids_per_n(self):
+        specs = build_grid(["chandra-toueg"], ["fault-free"], [0, 1], ns=[3, 4])
+        aggregates = run_sweep(specs, workers=1).aggregate()
+        assert set(aggregates) == {
+            "chandra-toueg/fault-free/n=3",
+            "chandra-toueg/fault-free/n=4",
+        }
+        assert aggregates["chandra-toueg/fault-free/n=3"]["n"] == 3
+        assert aggregates["chandra-toueg/fault-free/n=3"]["runs"] == 2
+
+    def test_solve_rate_excludes_errored_runs(self):
+        """An infrastructure failure must not deflate the scientific solve rate."""
+        specs = [
+            RunSpec.make("chandra-toueg", "fault-free", 0, n=3),
+            # an unknown stabilization_time type makes the runner raise
+            RunSpec.make("chandra-toueg", "fault-free", 1, n=3, no_such_param=1),
+        ]
+        sweep = run_sweep(specs, workers=1)
+        aggregate = sweep.aggregate()["chandra-toueg/fault-free"]
+        assert aggregate["runs"] == 2
+        assert aggregate["errors"] == 1
+        assert aggregate["solved"] == 1
+        assert aggregate["solve_rate"] == 1.0  # 1 solved / 1 non-errored
+        assert aggregate["all_safe"] is True
+
+    def test_solve_rate_is_none_when_every_run_errored(self):
+        specs = [RunSpec.make("chandra-toueg", "fault-free", 0, no_such_param=1)]
+        aggregate = run_sweep(specs, workers=1).aggregate()["chandra-toueg/fault-free"]
+        assert aggregate["errors"] == 1
+        assert aggregate["solve_rate"] is None
+        assert aggregate["all_safe"] is None
 
     def test_specs_differing_only_in_params_do_not_collide(self):
         """Parallel results are indexed by grid position, not by spec fields."""
@@ -131,7 +186,7 @@ class TestSweepExecutor:
         path = tmp_path / "sub" / "sweep.json"
         sweep.write_json(str(path))
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-sweep/1"
+        assert payload["schema"] == "repro-sweep/2"
         assert payload["grid_size"] == 2
         assert len(payload["runs"]) == 2
         assert set(payload["aggregates"]) == {"ho-stack/crash-stop"}
