@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Memory/time benchmark: streaming predicate monitors vs whole-collection checks.
+
+The whole-collection checkers need the entire recorded heard-of collection
+in memory -- O(rounds * n) masks -- before a single predicate can be
+evaluated.  The streaming monitors reach the same verdicts consuming one
+round of masks at a time in O(n) monitor state, so their peak memory is
+flat in the round count.  This benchmark makes that visible and emits
+``BENCH_predicates.json`` so CI can track it:
+
+* *monitored* -- feed a :class:`~repro.predicates.MonitorBank` (all six
+  Table 1 / Section 4.2 monitors) one round of oracle masks at a time;
+* *whole*     -- record every mask into an
+  :class:`~repro.core.types.HOCollection`, then run the six
+  whole-collection checkers over it.
+
+Peak memory is measured with :mod:`tracemalloc`; both paths also verify
+they agree on every verdict (the streaming monitors are the online dual of
+the checkers, and must never diverge).
+
+Run directly::
+
+    python benchmarks/bench_predicate_monitor.py --sizes 16 64 128 --round-counts 200 600
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+import tracemalloc
+from typing import Any, Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.types import HOCollection  # noqa: E402
+from repro.predicates import (  # noqa: E402
+    MONITOR_NAMES,
+    MonitorBank,
+    P2Otr,
+    P11Otr,
+    POtr,
+    PRestrOtr,
+    build_monitor,
+    pk_holds,
+    psu_holds,
+)
+
+SCHEMA = "repro-bench-predicates/1"
+
+ORACLE_BLOCKS = 3
+ORACLE_PERIOD = 5
+
+
+def fill_round_masks(n: int, round: int, heal_from: int, seed: int, out: List[int]) -> None:
+    """The environment: a rotating partition healing into fault-free rounds.
+
+    Computed per round from (round, seed) alone -- deliberately *stateless*
+    (no oracle memo growing with the round count), so tracemalloc measures
+    the memory behaviour of the two predicate paths themselves.  Healing
+    halfway makes the existential predicates find their witnesses, so both
+    paths also do their "found it" work.
+    """
+    if round >= heal_from:
+        full = (1 << n) - 1
+        for p in range(n):
+            out[p] = full
+        return
+    epoch = (round - 1) // ORACLE_PERIOD
+    shift = epoch * 7 + seed
+    blocks = [0] * ORACLE_BLOCKS
+    for q in range(n):
+        blocks[(q + shift) % ORACLE_BLOCKS] |= 1 << q
+    for p in range(n):
+        out[p] = blocks[(p + shift) % ORACLE_BLOCKS]
+
+
+def run_monitored(n: int, rounds: int, seed: int) -> Dict[str, bool]:
+    """Stream environment masks round by round through all six monitors."""
+    heal_from = max(1, rounds // 2)
+    bank = MonitorBank(n, [build_monitor(name, n) for name in MONITOR_NAMES])
+    masks = [0] * n
+    for round in range(1, rounds + 1):
+        fill_round_masks(n, round, heal_from, seed, masks)
+        bank.observe_round(round, masks)
+    return {name: report.holds for name, report in bank.reports().items()}
+
+
+def run_whole(n: int, rounds: int, seed: int) -> Dict[str, bool]:
+    """Record the full collection, then run the six whole-collection checkers."""
+    heal_from = max(1, rounds // 2)
+    collection = HOCollection(n)
+    masks = [0] * n
+    for round in range(1, rounds + 1):
+        fill_round_masks(n, round, heal_from, seed, masks)
+        for p in range(n):
+            collection.record_mask(p, round, masks[p])
+    pi0 = frozenset(range(n))
+    return {
+        "p_otr": POtr().holds(collection),
+        "p_restr_otr": PRestrOtr().holds(collection),
+        "p_su": psu_holds(collection, pi0, 1, collection.max_round),
+        "p_k": pk_holds(collection, pi0, 1, collection.max_round),
+        "p_2otr": P2Otr(pi0).holds(collection),
+        "p_1/1otr": P11Otr(pi0).holds(collection),
+    }
+
+
+def measure(fn, repeats: int) -> Tuple[float, int, Any]:
+    """Best-of wall seconds, max traced peak bytes, and the last return value."""
+    best_seconds = float("inf")
+    peak_bytes = 0
+    value: Any = None
+    for _ in range(repeats):
+        tracemalloc.start()
+        started = time.perf_counter()
+        value = fn()
+        elapsed = time.perf_counter() - started
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        best_seconds = min(best_seconds, elapsed)
+        peak_bytes = max(peak_bytes, peak)
+    return best_seconds, peak_bytes, value
+
+
+def benchmark(
+    sizes: List[int], round_counts: List[int], repeats: int, seed: int
+) -> Dict[str, Any]:
+    results = []
+    for n in sizes:
+        for rounds in round_counts:
+            mon_seconds, mon_peak, mon_verdicts = measure(
+                lambda: run_monitored(n, rounds, seed), repeats
+            )
+            whole_seconds, whole_peak, whole_verdicts = measure(
+                lambda: run_whole(n, rounds, seed), repeats
+            )
+            assert mon_verdicts == whole_verdicts, (
+                f"monitor/checker divergence at n={n}, rounds={rounds}: "
+                f"{mon_verdicts} vs {whole_verdicts}"
+            )
+            results.append(
+                {
+                    "n": n,
+                    "rounds": rounds,
+                    "monitored_peak_bytes": mon_peak,
+                    "whole_peak_bytes": whole_peak,
+                    "monitored_seconds": round(mon_seconds, 6),
+                    "whole_seconds": round(whole_seconds, 6),
+                    "verdicts": mon_verdicts,
+                }
+            )
+            print(
+                f"n={n:<4} rounds={rounds:<6} "
+                f"monitored: {mon_peak / 1024:8.1f} KiB {mon_seconds * 1e3:8.2f}ms   "
+                f"whole: {whole_peak / 1024:8.1f} KiB {whole_seconds * 1e3:8.2f}ms"
+            )
+    # Memory-growth summary per size: peak at the largest round count over
+    # peak at the smallest.  Flat ~1.0 for the monitored path; the
+    # whole-collection path grows with the round count.
+    growth = {}
+    lo, hi = min(round_counts), max(round_counts)
+    if lo != hi:
+        for n in sizes:
+            by_rounds = {r["rounds"]: r for r in results if r["n"] == n}
+            growth[str(n)] = {
+                "monitored": by_rounds[hi]["monitored_peak_bytes"]
+                / max(1, by_rounds[lo]["monitored_peak_bytes"]),
+                "whole": by_rounds[hi]["whole_peak_bytes"]
+                / max(1, by_rounds[lo]["whole_peak_bytes"]),
+            }
+    return {
+        "schema": SCHEMA,
+        "environment": {
+            "family": "rotating-partition-healing",
+            "blocks": ORACLE_BLOCKS,
+            "period": ORACLE_PERIOD,
+        },
+        "predicates": list(MONITOR_NAMES),
+        "repeats": repeats,
+        "results": results,
+        "memory_growth": growth,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[16, 64, 128],
+        help="system sizes to sweep (default: 16 64 128)",
+    )
+    parser.add_argument(
+        "--round-counts", nargs="+", type=int, default=[200, 600, 1800],
+        help="round counts per run; several values expose the memory scaling "
+        "(default: 200 600 1800)",
+    )
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats, best-of (default: 3)")
+    parser.add_argument("--seed", type=int, default=0, help="oracle seed (default: 0)")
+    parser.add_argument(
+        "--json", default="BENCH_predicates.json",
+        help="output path (default: BENCH_predicates.json)",
+    )
+    args = parser.parse_args(argv)
+
+    payload = benchmark(args.sizes, args.round_counts, args.repeats, args.seed)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

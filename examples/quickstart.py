@@ -6,9 +6,13 @@ HO machine, first in a fault-free environment, then under heavy message
 loss, and finally under a *composed* adversary built with the
 :mod:`repro.adversaries` combinators -- a churning partition that heals into
 a crash-free-but-lossy regime.  After each run the communication predicates
-of Table 1 are checked on the recorded heard-of collection.  Finally, a
-small sweep grid is run through the resumable JSONL pipeline: the "first
-attempt" dies halfway, and the second call picks up exactly where it died.
+of Table 1 are checked on the recorded heard-of collection -- and monitored
+*online* by their streaming duals, which reach the same verdicts without
+the collection ever being needed.  Then a monitored run demonstrates
+early stopping ("end the run once P_su held for 5 consecutive rounds"),
+and a small sweep grid is run through the resumable JSONL pipeline: the
+"first attempt" dies halfway, and the second call picks up exactly where
+it died, predicate reports included.
 
 Run with:  python examples/quickstart.py
 """
@@ -30,21 +34,30 @@ from repro.adversaries import (
 from repro.algorithms import OneThirdRule
 from repro.analysis import check_consensus
 from repro.core import HOMachine, POtr, PRestrOtr
+from repro.predicates import MonitorBank, StopAfterHeld, build_monitor
 from repro.runner import JsonlSink, build_grid, run_sweep
 
 
 def run(label: str, oracle, initial_values) -> None:
     algorithm = OneThirdRule(len(initial_values))
-    machine = HOMachine(algorithm, oracle, initial_values)
+    n = len(initial_values)
+    # Streaming monitors watch the predicates online, one round at a time,
+    # through the engine's observer hook -- no recorded collection needed.
+    bank = MonitorBank(n, [build_monitor("p_otr", n), build_monitor("p_restr_otr", n)])
+    machine = HOMachine(algorithm, oracle, initial_values, observers=[bank])
     trace = machine.run_until_decision(max_rounds=50)
     verdict = check_consensus(trace, initial_values)
+    reports = bank.reports()
 
     print(f"--- {label} ---")
     print(f"initial values : {initial_values}")
     print(f"decisions      : {trace.decisions()}")
     print(f"rounds executed: {trace.rounds_executed()}")
-    print(f"P_otr holds    : {POtr().holds(trace.ho_collection)}")
-    print(f"P_restr_otr    : {PRestrOtr().holds(trace.ho_collection)}")
+    print(f"P_otr holds    : {POtr().holds(trace.ho_collection)} "
+          f"(monitored online: {reports['p_otr'].holds}, "
+          f"first held at round {reports['p_otr'].first_hold_round})")
+    print(f"P_restr_otr    : {PRestrOtr().holds(trace.ho_collection)} "
+          f"(monitored online: {reports['p_restr_otr'].holds})")
     print(f"integrity      : {verdict.integrity}")
     print(f"agreement      : {verdict.agreement}")
     print(f"termination    : {verdict.termination}")
@@ -83,13 +96,39 @@ def main() -> None:
     run("composed adversary (partition churn -> transient crash -> calm, +10% loss)",
         composed, initial_values)
 
-    # A resumable sweep: grids stream one JSON line per finished run into a
-    # JSONL sink, so a killed grid restarts where it died.  Here the "first
-    # attempt" only executes half the grid; the resumed call skips those
-    # cells and completes the rest.
-    print("--- resumable JSONL sweep ---")
+    # An early-stopping monitored run: the bank's StopAfterHeld policy ends
+    # the run once P_su held for 5 consecutive rounds -- no need to guess a
+    # horizon, and the compact report says when the good period started.
+    print("--- early-stopping monitored run ---")
+    oracle = SequenceOracle(
+        n,
+        [
+            (RotatingPartitionOracle(n, blocks=2, period=3, churn=0.5, seed=3), 20),
+            (FaultFreeOracle(n), None),  # the good period begins at round 21
+        ],
+    )
+    bank = MonitorBank(
+        n,
+        [build_monitor("p_su", n), build_monitor("p_2otr", n)],
+        stop_policies=[StopAfterHeld(5, predicate="p_su")],
+    )
+    machine = HOMachine(OneThirdRule(n), oracle, initial_values, observers=[bank])
+    while machine.current_round < 200 and not machine.engine.stop_requested:
+        machine.run_round()
+    report = bank.reports()["p_su"]
+    print(f"stopped after round {machine.current_round} of 200: "
+          f"P_su held {report.longest_good_run} rounds in a row "
+          f"(first space-uniform round: {report.first_good_round}, "
+          f"good-round fraction: {report.satisfaction:.2f})")
+    print()
+
+    # A resumable *monitored* sweep: grids stream one JSON line per finished
+    # run into a JSONL sink -- predicate reports riding along -- so a killed
+    # grid restarts where it died.  Here the "first attempt" only executes
+    # half the grid; the resumed call skips those cells and completes the rest.
+    print("--- resumable JSONL sweep (with streamed predicate reports) ---")
     grid = build_grid(
-        ["ho-round-mobile-omission"],
+        ["ho-round-mobile-omission-monitored"],
         ["fault-free", "crash-stop"],
         seeds=[0, 1],
         n=4,

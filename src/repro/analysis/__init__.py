@@ -3,9 +3,11 @@
 from .consensus_check import ConsensusVerdict, DecidingTrace, check_consensus
 from .metrics import (
     AlgorithmComplexity,
+    GoodPeriodStats,
     RunMetrics,
     UnifiedTrace,
     algorithm_complexity_summary,
+    good_period_stats,
     metrics_from_des,
     metrics_from_ho_trace,
     metrics_from_system_trace,
@@ -30,6 +32,8 @@ __all__ = [
     "metrics_from_ho_trace",
     "metrics_from_system_trace",
     "metrics_from_des",
+    "GoodPeriodStats",
+    "good_period_stats",
     "AlgorithmComplexity",
     "algorithm_complexity_summary",
     "FaultClass",

@@ -12,31 +12,6 @@ The subpackage implements the paper's primary abstraction (Section 3):
 
 from .algorithm import ConsensusAlgorithm, HOAlgorithm
 from .machine import HOMachine, HOOracle, run_ho_algorithm
-from .predicates import (
-    And,
-    CommunicationPredicate,
-    ExistsPi0,
-    MajorityEveryRound,
-    NonEmptyKernelEveryRound,
-    Not,
-    Or,
-    P11Otr,
-    P2Otr,
-    PKernel,
-    POtr,
-    PRestrOtr,
-    PSpaceUniform,
-    PerRoundCardinality,
-    TruePredicate,
-    UniformRoundExists,
-    exists_p11otr,
-    exists_p2otr,
-    find_pk_window,
-    find_psu_window,
-    otr_threshold,
-    pk_holds,
-    psu_holds,
-)
 from .types import (
     DecisionRecord,
     HOCollection,
@@ -127,10 +102,46 @@ _ADVERSARY_EXPORTS = frozenset(
     }
 )
 
+#: Predicate names re-exported from :mod:`repro.predicates` (via the
+#: ``core.predicates`` shim).  Lazy for the same reason as the adversaries:
+#: the predicate package builds on ``repro.core.types``, so an eager import
+#: here would close a cycle when an import starts at ``repro.predicates``.
+_PREDICATE_EXPORTS = frozenset(
+    {
+        "CommunicationPredicate",
+        "And",
+        "Or",
+        "Not",
+        "TruePredicate",
+        "PerRoundCardinality",
+        "MajorityEveryRound",
+        "NonEmptyKernelEveryRound",
+        "UniformRoundExists",
+        "POtr",
+        "PRestrOtr",
+        "PSpaceUniform",
+        "PKernel",
+        "P2Otr",
+        "P11Otr",
+        "ExistsPi0",
+        "exists_p2otr",
+        "exists_p11otr",
+        "psu_holds",
+        "pk_holds",
+        "find_psu_window",
+        "find_pk_window",
+        "otr_threshold",
+    }
+)
+
 
 def __getattr__(name: str):
     if name in _ADVERSARY_EXPORTS:
         from .. import adversaries
 
         return getattr(adversaries, name)
+    if name in _PREDICATE_EXPORTS:
+        from . import predicates
+
+        return getattr(predicates, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -61,6 +61,12 @@ class HOMachine:
         The received-mapping representation handed to transition functions:
         ``"dict"`` (default) materialises a plain dict, ``"mask"`` hands out
         a zero-copy bitmask-backed view (faster for large ``n``).
+    observers:
+        :class:`~repro.rounds.engine.RoundObserver` hooks fed every round
+        record as it is produced (e.g. a streaming predicate
+        :class:`~repro.predicates.monitors.MonitorBank`).  An observer whose
+        ``stop_requested`` turns true stops :meth:`run_until_decision`
+        early, between rounds.
     """
 
     def __init__(
@@ -69,6 +75,7 @@ class HOMachine:
         oracle: HOOracle,
         initial_values: Sequence[Any] | Mapping[ProcessId, Any],
         view: str = "dict",
+        observers: Sequence[Any] = (),
     ) -> None:
         self._algorithm = algorithm
         self._n = algorithm.n
@@ -80,7 +87,10 @@ class HOMachine:
         self._trace = RunTrace(n=self._n, ho_collection=HOCollection(self._n))
         self._trace.initial_values = dict(self._values)
         self._engine = RoundEngine(
-            algorithm, OracleTransport(oracle, self._n, view=view), self._trace
+            algorithm,
+            OracleTransport(oracle, self._n, view=view),
+            self._trace,
+            observers=observers,
         )
 
     def _normalise_values(
@@ -168,11 +178,20 @@ class HOMachine:
         max_rounds: int,
         scope: Optional[Iterable[ProcessId]] = None,
     ) -> RunTrace:
-        """Run until every process in *scope* decided, or *max_rounds* rounds elapsed."""
+        """Run until every process in *scope* decided, or *max_rounds* rounds elapsed.
+
+        An attached observer requesting an early stop (e.g. a monitor
+        bank's "predicate held for k rounds" policy) also ends the run,
+        between rounds.
+        """
         if max_rounds <= 0:
             raise ValueError(f"max_rounds must be positive, got {max_rounds}")
         scope_set = all_processes(self._n) if scope is None else frozenset(scope)
-        while self._round < max_rounds and not self.all_decided(scope_set):
+        while (
+            self._round < max_rounds
+            and not self.all_decided(scope_set)
+            and not self._engine.stop_requested
+        ):
             self.run_round()
         return self._trace
 

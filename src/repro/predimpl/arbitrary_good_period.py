@@ -189,16 +189,19 @@ def build_arbitrary_period_programs(
     params: SynchronyParams,
     trace: SystemRunTrace,
     resend_init: bool = True,
+    observers: Sequence[Any] = (),
 ) -> list[ArbitraryGoodPeriodProgram]:
     """One :class:`ArbitraryGoodPeriodProgram` per process, sharing *trace*.
 
     All processes share one :class:`~repro.rounds.RoundEngine` (and its
-    step transport), mirroring the shared trace.
+    step transport), mirroring the shared trace.  *observers* are
+    :class:`~repro.rounds.engine.RoundObserver` hooks fed every record the
+    shared engine produces (streaming predicate monitors ride here).
     """
     n = algorithm.n
     if len(initial_values) != n:
         raise ValueError(f"expected {n} initial values, got {len(initial_values)}")
-    engine = RoundEngine(algorithm, StepTransport(n), trace)
+    engine = RoundEngine(algorithm, StepTransport(n), trace, observers=observers)
     return [
         ArbitraryGoodPeriodProgram(
             process_id=p,

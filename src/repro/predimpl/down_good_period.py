@@ -149,18 +149,21 @@ def build_down_period_programs(
     initial_values: Sequence[Any],
     params: SynchronyParams,
     trace: SystemRunTrace,
+    observers: Sequence[Any] = (),
 ) -> list[DownGoodPeriodProgram]:
     """One :class:`DownGoodPeriodProgram` per process, sharing *trace*.
 
     All processes share one :class:`~repro.rounds.RoundEngine` (and its
-    step transport), mirroring the shared trace.
+    step transport), mirroring the shared trace.  *observers* are
+    :class:`~repro.rounds.engine.RoundObserver` hooks fed every record the
+    shared engine produces (streaming predicate monitors ride here).
     """
     n = algorithm.n
     if len(initial_values) != n:
         raise ValueError(
             f"expected {n} initial values, got {len(initial_values)}"
         )
-    engine = RoundEngine(algorithm, StepTransport(n), trace)
+    engine = RoundEngine(algorithm, StepTransport(n), trace, observers=observers)
     return [
         DownGoodPeriodProgram(
             process_id=p,

@@ -51,14 +51,21 @@ def build_down_stack(
     initial_values: Sequence[Any],
     params: SynchronyParams,
     trace: Optional[SystemRunTrace] = None,
+    observers: Sequence[Any] = (),
 ) -> PredicateStack:
-    """An HO algorithm over Algorithm 2 (for "pi0-down" good periods)."""
+    """An HO algorithm over Algorithm 2 (for "pi0-down" good periods).
+
+    *observers* attach to the shared round engine and see every round
+    record as the step-level run produces it (streaming predicate
+    monitors use this hook).
+    """
     shared_trace = trace if trace is not None else SystemRunTrace(n=upper_algorithm.n)
     programs = build_down_period_programs(
         algorithm=upper_algorithm,
         initial_values=initial_values,
         params=params,
         trace=shared_trace,
+        observers=observers,
     )
     return PredicateStack(
         programs=list(programs),
@@ -76,6 +83,7 @@ def build_arbitrary_stack(
     trace: Optional[SystemRunTrace] = None,
     use_translation: bool = True,
     resend_init: bool = True,
+    observers: Sequence[Any] = (),
 ) -> PredicateStack:
     """An HO algorithm over (optionally Algorithm 4 over) Algorithm 3.
 
@@ -83,6 +91,8 @@ def build_arbitrary_stack(
     the translation; ``f+1`` of them make up one upper-layer macro-round.
     Without it, the upper algorithm's rounds are Algorithm 3's rounds
     directly (useful for measuring ``P_k`` in isolation: Theorems 6 and 7).
+    *observers* attach to the shared round engine (streaming predicate
+    monitors use this hook).
     """
     shared_trace = trace if trace is not None else SystemRunTrace(n=upper_algorithm.n)
     translation: Optional[KernelToUniformTranslation] = None
@@ -97,6 +107,7 @@ def build_arbitrary_stack(
         params=params,
         trace=shared_trace,
         resend_init=resend_init,
+        observers=observers,
     )
     return PredicateStack(
         programs=list(programs),

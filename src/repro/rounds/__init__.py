@@ -25,6 +25,7 @@ from .engine import (
     OracleTransport,
     RoundAlgorithm,
     RoundEngine,
+    RoundObserver,
     RoundTraceSink,
     RoundTransport,
     StepTransport,
@@ -51,4 +52,5 @@ __all__ = [
     "StepTransport",
     "RoundAlgorithm",
     "RoundTraceSink",
+    "RoundObserver",
 ]

@@ -88,6 +88,22 @@ class RoundTraceSink(Protocol):
     ) -> None: ...
 
 
+@runtime_checkable
+class RoundObserver(Protocol):
+    """A hook fed every :class:`RoundRecord` the engine produces, as it is produced.
+
+    Observers see records on *both* transport paths -- lockstep oracle
+    rounds and per-process step-backed rounds -- right after the trace sink
+    does, so online consumers (the streaming predicate monitors of
+    :mod:`repro.predicates.monitors`) never need the recorded collection.
+    An observer may additionally expose a boolean ``stop_requested``
+    attribute; :attr:`RoundEngine.stop_requested` folds those into one
+    early-stop signal that run loops poll between rounds.
+    """
+
+    def on_record(self, record: RoundRecord) -> None: ...
+
+
 class RoundTransport(Protocol):
     """The environment of the round engine: who is heard of, with what payloads.
 
@@ -221,13 +237,29 @@ class RoundEngine:
     records everything, and prunes the mailbox.
     """
 
-    __slots__ = ("algorithm", "transport", "sink", "n")
+    __slots__ = ("algorithm", "transport", "sink", "n", "observers")
 
-    def __init__(self, algorithm: RoundAlgorithm, transport: RoundTransport, sink: Any) -> None:
+    def __init__(
+        self,
+        algorithm: RoundAlgorithm,
+        transport: RoundTransport,
+        sink: Any,
+        observers: Sequence[RoundObserver] = (),
+    ) -> None:
         self.algorithm = algorithm
         self.transport = transport
         self.sink = sink
         self.n = algorithm.n
+        self.observers: List[RoundObserver] = list(observers)
+
+    def add_observer(self, observer: RoundObserver) -> None:
+        """Attach *observer* to the record stream (fed after the trace sink)."""
+        self.observers.append(observer)
+
+    @property
+    def stop_requested(self) -> bool:
+        """Whether any observer requests an early stop (polled between rounds)."""
+        return any(getattr(observer, "stop_requested", False) for observer in self.observers)
 
     # ------------------------------------------------------------------ #
     # lockstep execution (oracle-backed)
@@ -245,6 +277,7 @@ class RoundEngine:
         algorithm = self.algorithm
         transport = self.transport
         sink = self.sink
+        observers = self.observers
         n = self.n
         time = float(round)
 
@@ -258,17 +291,18 @@ class RoundEngine:
             new_state = algorithm.transition(round, p, states[p], received)
             states[p] = new_state
             decision = algorithm.decision(new_state)
-            sink.record_round_result(
-                RoundRecord(
-                    process=p,
-                    round=round,
-                    ho_mask=mask,
-                    state_after=new_state,
-                    decision=decision,
-                    sent_payload=payloads[p],
-                    time=time,
-                )
+            record = RoundRecord(
+                process=p,
+                round=round,
+                ho_mask=mask,
+                state_after=new_state,
+                decision=decision,
+                sent_payload=payloads[p],
+                time=time,
             )
+            sink.record_round_result(record)
+            for observer in observers:
+                observer.on_record(record)
             if decision is not None:
                 sink.record_decision(p, decision, round, time)
         sink.messages_delivered += delivered
@@ -318,16 +352,17 @@ class RoundEngine:
     ) -> Any:
         new_state = self.algorithm.transition(round, process, state, received)
         decision = self.algorithm.decision(new_state)
-        self.sink.record_round_result(
-            RoundRecord(
-                process=process,
-                round=round,
-                ho_mask=mask,
-                state_after=new_state,
-                decision=decision,
-                time=time,
-            )
+        record = RoundRecord(
+            process=process,
+            round=round,
+            ho_mask=mask,
+            state_after=new_state,
+            decision=decision,
+            time=time,
         )
+        self.sink.record_round_result(record)
+        for observer in self.observers:
+            observer.on_record(record)
         if decision is not None:
             self.sink.record_decision(process, decision, round, time)
         return new_state
@@ -336,6 +371,7 @@ class RoundEngine:
 __all__ = [
     "RoundAlgorithm",
     "RoundTraceSink",
+    "RoundObserver",
     "RoundTransport",
     "OracleTransport",
     "StepTransport",

@@ -27,6 +27,7 @@ import os
 import sys
 from typing import Dict, Optional, Sequence
 
+from ..predicates import MONITOR_NAMES, canonical_predicate_name
 from .registry import REGISTRY
 from .sweep import JsonlSink, _resolve_workers, build_grid, run_sweep
 
@@ -86,6 +87,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "when possible, e.g. --param rounds=120 --param churn=0.5",
     )
     parser.add_argument(
+        "--predicates",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="attach streaming predicate monitors to every run (names may be "
+        "space- or comma-separated, e.g. --predicates p_otr,p_su,p_k); "
+        "reports land in the per-run 'predicates' field of every sink",
+    )
+    parser.add_argument(
+        "--stop-after-held",
+        type=int,
+        default=None,
+        metavar="K",
+        help="stop each run once a monitored predicate's good condition held "
+        "for K consecutive rounds (requires --predicates)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -118,11 +136,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list:
+        monitorable = set(REGISTRY.monitorable_scenario_names())
         print("scenarios:")
         for name in REGISTRY.scenario_names():
-            print(f"  {name}")
+            suffix = "  [monitorable]" if name in monitorable else ""
+            print(f"  {name}{suffix}")
         print("fault models:")
         for name in REGISTRY.fault_model_names():
+            print(f"  {name}")
+        print("predicates (for --predicates, on [monitorable] scenarios):")
+        for name in MONITOR_NAMES:
             print(f"  {name}")
         print("measurements:")
         for name in REGISTRY.measurement_names():
@@ -153,6 +176,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.stop_after_held is not None and not args.predicates:
+        print("error: --stop-after-held requires --predicates", file=sys.stderr)
+        return 2
+    if args.stop_after_held is not None and args.stop_after_held < 1:
+        print(
+            f"error: --stop-after-held must be at least 1, got {args.stop_after_held}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.predicates:
+        raw_names = [name for entry in args.predicates for name in entry.split(",") if name]
+        try:
+            predicate_names = tuple(canonical_predicate_name(name) for name in raw_names)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        unmonitorable = [
+            name for name in scenarios if not REGISTRY.scenario_is_monitorable(name)
+        ]
+        if unmonitorable:
+            print(
+                f"error: --predicates requires monitorable scenarios; "
+                f"{', '.join(unmonitorable)} run(s) without a heard-of collection. "
+                f"Monitorable: {', '.join(REGISTRY.monitorable_scenario_names())}",
+                file=sys.stderr,
+            )
+            return 2
+        params["predicates"] = predicate_names
+        if args.stop_after_held is not None:
+            params["stop_after_held"] = args.stop_after_held
 
     sizes = args.ns if args.ns else [args.n]
     specs = build_grid(scenarios, args.fault_models, args.seeds, ns=sizes, **params)

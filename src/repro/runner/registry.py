@@ -32,12 +32,21 @@ class TaskRegistry:
         self._scenarios: Dict[str, Callable] = {}
         self._measurements: Dict[str, Callable] = {}
         self._fault_models: Dict[str, None] = {}
+        self._monitorable: Dict[str, bool] = {}
+        self._populated = False
 
     # -- registration -------------------------------------------------- #
 
-    def register_scenario(self, name: str, fn: Callable) -> Callable:
-        """Register scenario *name*; returns *fn* so it can be used as a decorator."""
+    def register_scenario(self, name: str, fn: Callable, *, monitorable: bool = False) -> Callable:
+        """Register scenario *name*; returns *fn* so it can be used as a decorator.
+
+        *monitorable* declares that the scenario accepts the
+        ``predicates`` / ``stop_after_held`` keyword arguments and attaches
+        streaming predicate monitors (DES-based baselines have no heard-of
+        collection, so the CLI refuses ``--predicates`` for them up front).
+        """
         self._scenarios[name] = fn
+        self._monitorable[name] = monitorable
         return fn
 
     def register_measurement(self, name: str, fn: Callable) -> Callable:
@@ -83,13 +92,27 @@ class TaskRegistry:
         self._ensure_populated()
         return sorted(self._fault_models)
 
+    def scenario_is_monitorable(self, name: str) -> bool:
+        """Whether scenario *name* supports streaming predicate monitors."""
+        self._ensure_populated()
+        return self._monitorable.get(name, False)
+
+    def monitorable_scenario_names(self) -> List[str]:
+        """The scenarios that accept ``predicates`` / ``stop_after_held``."""
+        self._ensure_populated()
+        return sorted(name for name, flag in self._monitorable.items() if flag)
+
     def _ensure_populated(self) -> None:
         """Import the workload modules whose import side-effect registers tasks.
 
         Lookups may happen in a fresh worker process where nothing has been
-        imported yet; this makes name resolution self-contained.
+        imported yet; this makes name resolution self-contained.  A real
+        flag, not an emptiness check: a caller registering its own scenario
+        first must not suppress the workload import (it used to leave the
+        fault-model namespace empty).
         """
-        if not self._scenarios:
+        if not self._populated:
+            self._populated = True
             import repro.workloads  # noqa: F401  (registers scenarios + measurements)
 
 

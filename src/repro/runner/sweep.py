@@ -56,9 +56,13 @@ from typing import (
 
 from .registry import REGISTRY
 
-#: JSON schema tag of the sweep summary (v2: per-run ``params``, per-group
-#: ``n``, error-free ``solve_rate`` denominators, ``resumed`` count).
-SCHEMA = "repro-sweep/2"
+#: JSON schema tag of the sweep summary (v3: per-run ``predicates`` carrying
+#: the streaming monitor reports of monitored scenarios, plus per-group
+#: predicate aggregates; v2 added per-run ``params``, per-group ``n``,
+#: error-free ``solve_rate`` denominators and the ``resumed`` count).
+#: v2 JSONL files resume into v3 sweeps unchanged -- the cell identity does
+#: not include the predicate reports.
+SCHEMA = "repro-sweep/3"
 
 
 def spec_key(
@@ -145,6 +149,12 @@ class RunRecord:
     wall_seconds: float
     params: Tuple[Tuple[str, Any], ...] = ()
     error: Optional[str] = None
+    #: streaming predicate-monitor reports of a monitored run: one JSON
+    #: report dict per predicate name (see
+    #: :class:`repro.predicates.reports.PredicateReport`), None when the
+    #: run monitored nothing.  Reports are tiny, so -- unlike traces --
+    #: they ride the wire record across worker pools and into JSONL/CSV.
+    predicates: Optional[Dict[str, Any]] = None
     #: the full ScenarioResult (verdict + metrics); carried for in-process
     #: consumers such as ``compare_stacks``, excluded from the JSON summary
     #: and stripped before a parallel worker returns unless the sweep was
@@ -174,6 +184,7 @@ class RunRecord:
             "messages_sent": self.messages_sent,
             "wall_seconds": round(self.wall_seconds, 6),
             "error": self.error,
+            "predicates": self.predicates,
         }
 
     @classmethod
@@ -196,6 +207,7 @@ class RunRecord:
             wall_seconds=payload["wall_seconds"],
             params=tuple(sorted(params.items())),
             error=payload.get("error"),
+            predicates=payload.get("predicates"),
         )
 
     def row(self) -> str:
@@ -242,6 +254,8 @@ def execute_run(spec: RunSpec) -> RunRecord:
         )
     wall = time.perf_counter() - started
     metrics = result.metrics
+    extra = getattr(result, "extra", None)
+    predicates = extra.get("predicate_reports") if isinstance(extra, Mapping) else None
     return RunRecord(
         scenario=spec.scenario,
         fault_model=spec.fault_model,
@@ -257,6 +271,7 @@ def execute_run(spec: RunSpec) -> RunRecord:
         messages_sent=metrics.messages_sent,
         wall_seconds=wall,
         params=spec.params,
+        predicates=predicates,
         result=result,
     )
 
@@ -338,9 +353,13 @@ class JsonlSink:
 
 
 def _csv_row(record: RunRecord) -> Dict[str, Any]:
-    """A CSV-safe projection of one record (params JSON-encoded in place)."""
+    """A CSV-safe projection of one record (params/predicates JSON-encoded in place)."""
     row = record.to_json_dict()
     row["params"] = json.dumps(row["params"], sort_keys=True, default=str)
+    row["predicates"] = (
+        "" if row["predicates"] is None
+        else json.dumps(row["predicates"], sort_keys=True, default=str)
+    )
     return row
 
 
@@ -412,6 +431,46 @@ def load_jsonl_records(path: str) -> List[RunRecord]:
             record = RunRecord.from_json_dict(payload)
             records[record.cell_key] = record
     return list(records.values())
+
+
+def _aggregate_predicates(records: Sequence[RunRecord]) -> Dict[str, Dict[str, Any]]:
+    """Per-predicate aggregates over the monitored runs of one group.
+
+    Only non-errored runs carrying reports contribute; like every other
+    aggregate, the numbers depend solely on deterministic run outcomes, so
+    resumed grids reproduce them byte-identically.
+    """
+    reported = [r for r in records if r.predicates]
+    if not reported:
+        return {}
+    summary: Dict[str, Dict[str, Any]] = {}
+    names = sorted({name for record in reported for name in record.predicates})
+    for name in names:
+        entries = [record.predicates[name] for record in reported if name in record.predicates]
+        held = sum(1 for entry in entries if entry.get("holds"))
+        first_holds = [
+            entry["first_hold_round"]
+            for entry in entries
+            if entry.get("first_hold_round") is not None
+        ]
+        satisfactions = [
+            entry["satisfaction"] for entry in entries if entry.get("satisfaction") is not None
+        ]
+        summary[name] = {
+            "runs": len(entries),
+            "held": held,
+            "hold_rate": held / len(entries),
+            "mean_first_hold_round": (
+                sum(first_holds) / len(first_holds) if first_holds else None
+            ),
+            "mean_satisfaction": (
+                sum(satisfactions) / len(satisfactions) if satisfactions else None
+            ),
+            "max_longest_good_run": max(
+                (entry.get("longest_good_run", 0) for entry in entries), default=0
+            ),
+        }
+    return summary
 
 
 @dataclass
@@ -499,6 +558,9 @@ class SweepResult:
                 "total_messages_sent": sum(r.messages_sent for r in group),
                 "seeds": [r.seed for r in group],
             }
+            predicate_summary = _aggregate_predicates(ok)
+            if predicate_summary:
+                aggregates[name]["predicates"] = predicate_summary
         return aggregates
 
     def to_json(self) -> Dict[str, Any]:
@@ -537,6 +599,7 @@ class SweepResult:
         "messages_sent",
         "wall_seconds",
         "error",
+        "predicates",
     )
 
     def write_csv(self, path: str) -> None:

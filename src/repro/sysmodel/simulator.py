@@ -28,7 +28,7 @@ replayed exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, List, Optional, Sequence
+from typing import Any, Callable, List, Optional, Sequence
 
 from ..core.types import ProcessId
 from ..engine import EngineCore, FaultEvent
@@ -306,13 +306,18 @@ class SystemSimulator:
     # main loop
     # ------------------------------------------------------------------ #
 
-    def run(self, until: float) -> SystemRunTrace:
-        """Run the simulation until simulated time *until*; returns the trace."""
+    def run(self, until: float, stop_when: Optional[Callable[[], bool]] = None) -> SystemRunTrace:
+        """Run the simulation until simulated time *until*; returns the trace.
+
+        *stop_when* is an optional early-stop predicate polled between
+        events (e.g. a streaming predicate monitor bank's
+        ``stop_requested``); when it fires, the run ends before *until*.
+        """
         if until < self.now:
             raise ValueError(f"cannot run backwards: now={self.now}, until={until}")
         if not self._started:
             self._start()
-        self._engine.run(until, self._dispatch)
+        self._engine.run(until, self._dispatch, stop_when=stop_when)
         self._finalise_trace()
         return self.trace
 

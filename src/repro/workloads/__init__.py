@@ -1,6 +1,11 @@
 """Workloads: scenario generators and the measurement harness behind the benchmarks."""
 
-from .adversarial import ROUND_FAMILIES, run_round_adversary
+from .adversarial import (
+    DEFAULT_MONITORED_PREDICATES,
+    ROUND_FAMILIES,
+    run_round_adversary,
+    run_round_adversary_monitored,
+)
 from .measure import (
     DEFAULT_BAD_BEHAVIOR,
     DEFAULT_BAD_NETWORK,
@@ -42,5 +47,7 @@ __all__ = [
     "run_aguilera",
     "compare_stacks",
     "ROUND_FAMILIES",
+    "DEFAULT_MONITORED_PREDICATES",
     "run_round_adversary",
+    "run_round_adversary_monitored",
 ]

@@ -28,7 +28,7 @@ through named sub-streams, so a single seed controls the whole environment.
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from ..adversaries import (
     BurstyLossOracle,
@@ -47,6 +47,8 @@ from ..analysis.consensus_check import check_consensus
 from ..analysis.metrics import metrics_from_trace
 from ..core.machine import HOMachine
 from ..engine.rng import SeededRng
+from ..predicates import MonitorBank, build_monitor_bank
+from ..predimpl.bounds import arbitrary_p2otr_rounds
 from ..runner.registry import REGISTRY
 from .scenarios import FAULT_MODELS, ScenarioResult, _initial_values, _scope_for
 
@@ -143,6 +145,9 @@ def run_round_adversary(
     rounds: int = 80,
     stabilize_round: Optional[int] = None,
     keep_trace: bool = False,
+    predicates: Optional[Sequence[str]] = None,
+    stop_after_held: Optional[int] = None,
+    run_full_horizon: bool = False,
     **params: Any,
 ) -> ScenarioResult:
     """Run OneThirdRule under a dynamic adversary family crossed with *fault_model*.
@@ -154,6 +159,16 @@ def run_round_adversary(
     as ``extra["trace"]`` for in-process consumers (predicate checks on the
     heard-of collection); such results are deliberately heavy, which is why
     the sweep executor ships only slim wire records across worker pools.
+
+    *predicates* names streaming monitors (:data:`repro.predicates.MONITOR_NAMES`)
+    attached to the round engine, scoped to the fault model's surviving
+    processes; their compact reports land in ``extra["predicate_reports"]``
+    (JSON form) without the trace ever leaving the run.  *stop_after_held*
+    additionally stops the run once any monitored predicate's good
+    condition held for that many consecutive rounds.  *run_full_horizon*
+    keeps executing rounds after every in-scope process decided (monitored
+    runs measuring first-hold rounds want the whole horizon, not the
+    decision prefix); early-stop policies still apply.
     """
     if fault_model not in FAULT_MODELS:
         raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
@@ -166,17 +181,32 @@ def run_round_adversary(
         oracle = IntersectOracle(n, oracle, overlay)
 
     values = _initial_values(n)
-    machine = HOMachine(OneThirdRule(n), oracle, values)
     scope = _scope_for(fault_model, n)
+    bank: Optional[MonitorBank] = None
+    observers: Sequence[Any] = ()
+    if predicates:
+        bank = build_monitor_bank(n, predicates, pi0=scope, stop_after_held=stop_after_held)
+        observers = (bank,)
+    elif stop_after_held is not None:
+        raise ValueError("stop_after_held requires at least one monitored predicate")
+    machine = HOMachine(OneThirdRule(n), oracle, values, observers=observers)
     # Under the lossy overlay the post-stabilisation rounds still lose
     # messages, so a decision is likely but not certain within the horizon.
-    trace = machine.run_until_decision(max_rounds=rounds, scope=scope)
+    if run_full_horizon:
+        while machine.current_round < rounds and not machine.engine.stop_requested:
+            machine.run_round()
+        trace = machine.trace
+    else:
+        trace = machine.run_until_decision(max_rounds=rounds, scope=scope)
     verdict = check_consensus(trace, values, scope=scope)
     extra: Dict[str, Any] = {
         "family": family,
         "stabilize_round": stabilize_round,
         "rounds": rounds,
     }
+    if bank is not None:
+        extra["predicate_reports"] = bank.reports_json()
+        extra["stopped_early"] = bank.stop_requested
     if keep_trace:
         extra["trace"] = trace
     return ScenarioResult(
@@ -190,10 +220,83 @@ def run_round_adversary(
     )
 
 
+#: Predicates monitored by default in the ``ho-round-*-monitored`` family.
+DEFAULT_MONITORED_PREDICATES = ("p_su", "p_k", "p_2otr", "p_restr_otr")
+
+
+def run_round_adversary_monitored(
+    fault_model: str,
+    n: int = 4,
+    seed: int = 0,
+    family: str = "mobile-omission",
+    rounds: int = 80,
+    stabilize_round: Optional[int] = None,
+    predicates: Sequence[str] = DEFAULT_MONITORED_PREDICATES,
+    stop_after_held: Optional[int] = None,
+    keep_trace: bool = False,
+    **params: Any,
+) -> ScenarioResult:
+    """The monitored twin of :func:`run_round_adversary`: measure *when* predicates hold.
+
+    Runs the same environment with streaming monitors always on and
+    cross-checks the theoretical round bound of
+    :func:`repro.predimpl.bounds.arbitrary_p2otr_rounds` against the
+    *monitored* first-hold round of ``P_2otr``: once the adversary family
+    stabilises at ``stabilize_round``, a ``P_2otr``-satisfying pattern is
+    due within ``2f+3`` rounds (``f`` = processes outside the surviving
+    scope) -- unless the fault-model overlay keeps losing messages, which
+    the recorded ``within_round_bound`` then makes visible.  Results land
+    in ``extra["bound_check"]`` next to the predicate reports; nothing of
+    this requires shipping a trace out of the run.
+    """
+    if stabilize_round is None:
+        stabilize_round = max(2, rounds // 2)
+    result = run_round_adversary(
+        fault_model,
+        n=n,
+        seed=seed,
+        family=family,
+        rounds=rounds,
+        stabilize_round=stabilize_round,
+        keep_trace=keep_trace,
+        predicates=tuple(predicates),
+        stop_after_held=stop_after_held,
+        run_full_horizon=True,
+        **params,
+    )
+    scope = _scope_for(fault_model, n)
+    f = n - len(scope)
+    round_bound = stabilize_round + arbitrary_p2otr_rounds(f)
+    reports = result.extra.get("predicate_reports") or {}
+    report = reports.get("p_2otr")
+    first_hold = report.get("first_hold_round") if report else None
+    result.extra["bound_check"] = {
+        "predicate": "p_2otr",
+        "f": f,
+        "stabilize_round": stabilize_round,
+        "round_bound": round_bound,
+        "first_hold_round": first_hold,
+        "within_round_bound": None if first_hold is None else first_hold <= round_bound,
+    }
+    return result
+
+
 for _family in ROUND_FAMILIES:
     REGISTRY.register_scenario(
-        f"ho-round-{_family}", partial(run_round_adversary, family=_family)
+        f"ho-round-{_family}",
+        partial(run_round_adversary, family=_family),
+        monitorable=True,
+    )
+    REGISTRY.register_scenario(
+        f"ho-round-{_family}-monitored",
+        partial(run_round_adversary_monitored, family=_family),
+        monitorable=True,
     )
 
 
-__all__ = ["ROUND_FAMILIES", "run_round_adversary"]
+__all__ = [
+    "ROUND_FAMILIES",
+    "DEFAULT_MONITORED_PREDICATES",
+    "run_round_adversary",
+    "run_round_adversary_monitored",
+]

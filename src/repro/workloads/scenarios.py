@@ -29,6 +29,7 @@ from ..failure_detectors import (
     build_aguilera_processes,
     build_chandra_toueg_processes,
 )
+from ..predicates import MonitorBank, build_monitor_bank
 from ..predimpl import build_down_stack
 from ..sysmodel import (
     BadPeriodNetwork,
@@ -103,18 +104,48 @@ def run_ho_stack(
     seed: int = 0,
     bad_period_length: float = 80.0,
     good_period_length: float = 400.0,
+    predicates: Optional[Sequence[str]] = None,
+    stop_after_held: Optional[int] = None,
 ) -> ScenarioResult:
     """Run OneThirdRule over Algorithm 2 under the given fault model.
 
     The same algorithm and the same predicate implementation are used for
     every fault model; only the fault schedule differs -- this is the
     Section 3.3 claim made executable.
+
+    *predicates* attaches streaming monitors
+    (:data:`repro.predicates.MONITOR_NAMES`) to the shared round engine of
+    the predicate-implementation stack, scoped to the surviving processes;
+    their reports land in ``extra["predicate_reports"]``.  *stop_after_held*
+    ends the step-level simulation early once any monitored predicate's
+    good condition held for that many consecutive rounds.  Monitored rounds
+    complete once the surviving scope reported them (so monitoring is live
+    even when a crashed process never reports again); a laggard's record
+    arriving after that is dropped and counted in
+    ``extra["predicate_late_records"]`` -- when non-zero, the verdicts of
+    the *unscoped* predicates (``p_otr``, ``p_restr_otr``) are anytime
+    approximations rather than exact whole-collection verdicts.
     """
     if fault_model not in FAULT_MODELS:
         raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
     params = SynchronyParams(phi=phi, delta=delta)
     values = _initial_values(n)
-    stack = build_down_stack(OneThirdRule(n), values, params)
+    scope = _scope_for(fault_model, n)
+    bank: Optional[MonitorBank] = None
+    observers: Sequence[Any] = ()
+    if predicates:
+        # completion_scope: under crash-stop the dead process stops
+        # reporting forever, and waiting out the collator window on every
+        # round would defer all monitoring to the end of the run -- rounds
+        # complete once the surviving scope reported instead.
+        bank = build_monitor_bank(
+            n, predicates, pi0=scope, stop_after_held=stop_after_held,
+            completion_scope=scope,
+        )
+        observers = (bank,)
+    elif stop_after_held is not None:
+        raise ValueError("stop_after_held requires at least one monitored predicate")
+    stack = build_down_stack(OneThirdRule(n), values, params, observers=observers)
 
     faults = FaultSchedule.none()
     lossy = False
@@ -162,10 +193,21 @@ def run_ho_stack(
             min_step_gap=1.0, max_step_gap=5.0, stall_probability=0.2
         ),
     )
-    trace = simulator.run(until=bad_period_length + good_period_length)
-    scope = _scope_for(fault_model, n)
+    stop_when = None
+    if bank is not None and stop_after_held is not None:
+        stop_when = lambda: bank.stop_requested  # noqa: E731
+    trace = simulator.run(until=bad_period_length + good_period_length, stop_when=stop_when)
     verdict = check_consensus(trace, values, scope=scope)
     configuration = FaultConfiguration(n=n, schedule=faults, lossy_links=lossy)
+    extra: Dict[str, Any] = {"fault_class": classify(configuration).value}
+    if bank is not None:
+        extra["predicate_reports"] = bank.reports_json()
+        extra["stopped_early"] = bank.stop_requested
+        # Non-zero when a process reported a round after the surviving
+        # scope already completed it: scoped predicates are unaffected, but
+        # unscoped ones (p_otr, p_restr_otr) then carry anytime verdicts
+        # rather than exact whole-collection ones.
+        extra["predicate_late_records"] = bank.late_records
     return ScenarioResult(
         stack="ho-stack",
         fault_model=fault_model,
@@ -173,7 +215,7 @@ def run_ho_stack(
         seed=seed,
         verdict=verdict,
         metrics=metrics_from_system_trace(trace, scope=scope),
-        extra={"fault_class": classify(configuration).value},
+        extra=extra,
     )
 
 
@@ -303,7 +345,7 @@ def check_consensus_des(simulator: EventSimulator, values: Sequence[Any], scope)
 #: the three stacks, in report order, as registered with the runner.
 STACKS = ("ho-stack", "chandra-toueg", "aguilera")
 
-REGISTRY.register_scenario("ho-stack", run_ho_stack)
+REGISTRY.register_scenario("ho-stack", run_ho_stack, monitorable=True)
 REGISTRY.register_scenario("chandra-toueg", run_chandra_toueg)
 REGISTRY.register_scenario("aguilera", run_aguilera)
 for _fault_model in FAULT_MODELS:

@@ -2,6 +2,10 @@
 
 from __future__ import annotations
 
+from dataclasses import FrozenInstanceError
+
+import pytest
+
 from repro.predimpl.wire import WireKind, WireMessage, init_message, round_message
 
 
@@ -24,3 +28,36 @@ class TestWireMessages:
         assert round_message(1, "x") == round_message(1, "x")
         assert round_message(1, "x") != init_message(1, "x")
         assert len({round_message(1, "x"), round_message(1, "x")}) == 1
+
+
+class TestWireEdgeCases:
+    def test_init_for_the_first_round_is_evidence_for_round_zero(self):
+        # An INIT for round 1 claims the sender finished round 0 -- before
+        # any real round; consumers treat evidence_round() < 1 as vacuous.
+        assert init_message(1, None).evidence_round() == 0
+
+    def test_messages_are_immutable(self):
+        message = round_message(2, "payload")
+        with pytest.raises(FrozenInstanceError):
+            message.round = 3
+
+    def test_none_payload_is_a_valid_payload(self):
+        # Algorithm 2's upper layer may legitimately send None (no estimate
+        # yet); the wire layer must not conflate it with "no message".
+        message = round_message(4, None)
+        assert message.payload is None
+        assert message.evidence_round() == 4
+
+    def test_distinct_kinds_same_fields_never_compare_equal(self):
+        # A ROUND for r and an INIT for r+1 are evidence for the same round
+        # but must stay distinguishable on the wire.
+        round_msg = round_message(3, "m")
+        init_msg = init_message(4, "m")
+        assert round_msg.evidence_round() == init_msg.evidence_round() == 3
+        assert round_msg != init_msg
+
+    def test_kind_round_trips_through_its_value(self):
+        # Wire kinds serialise by value (useful for logging/JSON dumps).
+        assert WireKind("ROUND") is WireKind.ROUND
+        assert WireKind("INIT") is WireKind.INIT
+        assert repr(init_message(2, "p")) == "<INIT, 2, 'p'>"

@@ -41,10 +41,14 @@ class TestCli:
         out = capsys.readouterr().out
         assert "scenarios:" in out
         assert "measurements:" in out
+        listed = {line.strip().split("  ")[0] for line in out.splitlines() if line.startswith("  ")}
         for name in REGISTRY.scenario_names():
-            assert f"  {name}\n" in out
+            assert name in listed
         for name in REGISTRY.measurement_names():
-            assert f"  {name}\n" in out
+            assert name in listed
+        # monitorable scenarios are marked so --predicates targets are obvious
+        for name in REGISTRY.monitorable_scenario_names():
+            assert f"  {name}  [monitorable]\n" in out
 
     def test_sweep_writes_csv_and_json(self, tmp_path, capsys):
         json_path = tmp_path / "sweep.json"

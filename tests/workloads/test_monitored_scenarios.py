@@ -1,0 +1,163 @@
+"""Tests for streaming predicate monitoring inside the scenario runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.predimpl.bounds import arbitrary_p2otr_rounds
+from repro.runner.registry import REGISTRY
+from repro.workloads.adversarial import (
+    DEFAULT_MONITORED_PREDICATES,
+    ROUND_FAMILIES,
+    run_round_adversary,
+    run_round_adversary_monitored,
+)
+from repro.workloads.scenarios import run_ho_stack
+
+
+class TestRoundScenarioMonitoring:
+    def test_predicates_param_attaches_reports(self):
+        result = run_round_adversary(
+            "fault-free", n=4, seed=0, predicates=("p_su", "p_k", "p_2otr")
+        )
+        reports = result.extra["predicate_reports"]
+        assert set(reports) == {"p_su", "p_k", "p_2otr"}
+        for report in reports.values():
+            assert report["rounds_observed"] > 0
+
+    def test_no_predicates_means_no_reports(self):
+        result = run_round_adversary("fault-free", n=4, seed=0)
+        assert "predicate_reports" not in result.extra
+
+    def test_stop_after_held_requires_predicates(self):
+        with pytest.raises(ValueError, match="stop_after_held"):
+            run_round_adversary("fault-free", n=4, seed=0, stop_after_held=3)
+
+    def test_stop_after_held_cuts_the_full_horizon(self):
+        slow = run_round_adversary(
+            "fault-free", n=4, seed=0, rounds=60, stabilize_round=20,
+            predicates=("p_su",), run_full_horizon=True,
+        )
+        fast = run_round_adversary(
+            "fault-free", n=4, seed=0, rounds=60, stabilize_round=20,
+            predicates=("p_su",), stop_after_held=4, run_full_horizon=True,
+        )
+        slow_rounds = slow.extra["predicate_reports"]["p_su"]["rounds_observed"]
+        fast_rounds = fast.extra["predicate_reports"]["p_su"]["rounds_observed"]
+        assert slow_rounds == 60
+        assert fast.extra["stopped_early"]
+        assert fast_rounds < slow_rounds
+        # the run ended right as the streak completed: 4 good rounds from
+        # stabilisation at round 20, plus engine-stop granularity of a round
+        assert fast_rounds <= 20 + 4 + 1
+
+    def test_scope_excludes_the_crashed_process_from_pi0(self):
+        """Under crash-stop the monitors quantify over the surviving scope,
+        so the good period after stabilisation is visible despite the dead
+        process never appearing in any heard-of set."""
+        result = run_round_adversary(
+            "crash-stop", n=4, seed=0, rounds=60, stabilize_round=20,
+            predicates=("p_su",), run_full_horizon=True,
+        )
+        report = result.extra["predicate_reports"]["p_su"]
+        assert report["longest_good_run"] >= 60 - 20
+
+
+class TestMonitoredFamily:
+    def test_monitored_twins_are_registered_and_monitorable(self):
+        names = REGISTRY.scenario_names()
+        for family in ROUND_FAMILIES:
+            name = f"ho-round-{family}-monitored"
+            assert name in names
+            assert REGISTRY.scenario_is_monitorable(name)
+
+    def test_default_predicates_and_bound_check(self):
+        result = run_round_adversary_monitored("fault-free", n=4, seed=1)
+        reports = result.extra["predicate_reports"]
+        assert set(reports) == set(DEFAULT_MONITORED_PREDICATES)
+        check = result.extra["bound_check"]
+        assert check["predicate"] == "p_2otr"
+        assert check["round_bound"] == check["stabilize_round"] + arbitrary_p2otr_rounds(
+            check["f"]
+        )
+
+    @pytest.mark.parametrize("fault_model", ["fault-free", "crash-stop", "crash-recovery"])
+    def test_first_hold_respects_the_translation_round_bound(self, fault_model):
+        """Once the family stabilises, P_2otr must first-hold within 2f+3
+        rounds -- the Section 4.2.2(c) bound read at round granularity.
+        (The lossy model keeps dropping messages after stabilisation, so it
+        is deliberately excluded: there the check records, not asserts.)"""
+        for seed in (0, 1, 2):
+            result = run_round_adversary_monitored(fault_model, n=4, seed=seed)
+            check = result.extra["bound_check"]
+            assert check["within_round_bound"] is True, (fault_model, seed, check)
+
+    def test_monitored_runs_cover_the_full_horizon(self):
+        result = run_round_adversary_monitored("fault-free", n=4, seed=0, rounds=50)
+        report = result.extra["predicate_reports"]["p_su"]
+        assert report["rounds_observed"] == 50
+
+
+class TestHoStackMonitoring:
+    def test_step_level_stack_streams_reports(self):
+        result = run_ho_stack("fault-free", n=3, predicates=("p_su", "p_k"))
+        reports = result.extra["predicate_reports"]
+        assert set(reports) == {"p_su", "p_k"}
+        assert reports["p_k"]["rounds_observed"] > 0
+        # a pi-good run reaches kernel rounds quickly
+        assert reports["p_k"]["good_rounds"] > 0
+
+    def test_step_level_early_stop(self):
+        full = run_ho_stack("fault-free", n=3, predicates=("p_su",))
+        stopped = run_ho_stack("fault-free", n=3, predicates=("p_su",), stop_after_held=2)
+        assert stopped.extra["stopped_early"]
+        assert (
+            stopped.extra["predicate_reports"]["p_su"]["rounds_observed"]
+            <= full.extra["predicate_reports"]["p_su"]["rounds_observed"]
+        )
+
+    def test_stop_after_held_requires_predicates(self):
+        with pytest.raises(ValueError, match="stop_after_held"):
+            run_ho_stack("fault-free", n=3, stop_after_held=2)
+
+    def test_zero_stop_after_held_is_rejected_not_ignored(self):
+        with pytest.raises(ValueError, match="at least 1"):
+            run_ho_stack("fault-free", n=3, predicates=("p_su",), stop_after_held=0)
+
+    def test_crash_stop_early_stop_fires_live(self):
+        """Regression: the dead process never reports again, so rounds must
+        complete on the surviving scope -- otherwise every round stays
+        pending in the collator window and the stop policy only ever runs
+        at finalize, after the full horizon already executed."""
+        full = run_ho_stack("crash-stop", n=4, seed=0, predicates=("p_su",))
+        stopped = run_ho_stack(
+            "crash-stop", n=4, seed=0, predicates=("p_su",), stop_after_held=5
+        )
+        assert stopped.extra["stopped_early"]
+        assert (
+            stopped.extra["predicate_reports"]["p_su"]["rounds_observed"]
+            < full.extra["predicate_reports"]["p_su"]["rounds_observed"]
+        )
+
+    def test_full_horizon_run_never_claims_early_stop(self):
+        """Regression: finalize() drains pending rounds without evaluating
+        stop policies, so a run that went the distance must report
+        stopped_early=False even though the drained tail would have
+        satisfied the attached policy."""
+        from repro.predicates import MonitorBank, PSuMonitor, StopAfterHeld
+        from repro.rounds.record import RoundRecord
+
+        n = 2
+        bank = MonitorBank(n, [PSuMonitor(n, pi0={0})], stop_policies=[StopAfterHeld(2)])
+        # only process 0 ever reports: no round completes live, but every
+        # drained round is space uniform for pi0={0}
+        for round in (1, 2, 3):
+            bank.on_record(RoundRecord(process=0, round=round, ho_mask=0b01))
+        reports = bank.reports()  # drains rounds 1..3 through finalize()
+        assert reports["p_su"].rounds_observed == 3
+        assert reports["p_su"].longest_good_run == 3
+        assert not bank.stop_requested
+
+        result = run_ho_stack("crash-stop", n=4, seed=0, predicates=("p_su",))
+        assert result.extra["stopped_early"] is False
+        assert result.extra["predicate_reports"]["p_su"]["longest_good_run"] >= 5
