@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Replica-throughput benchmark: the batch backend vs the scalar loop.
+
+Runs the same oracle-driven cell -- OneThirdRule under the classic
+crash-stop environment with seed-shuffled initial values -- as R seeded
+replicas on both execution backends and reports *replica-round throughput*
+(replica-rounds executed per second).  The scalar loop pays the full Python
+interpreter cost once per (replica, process, round); the batch backend pays
+it once per round, so the speedup is interpreter-overhead elimination --
+data parallelism that works even on a single core, which is exactly what
+the sweep harness needs on one-core hosts where process pools buy nothing.
+
+Emits ``BENCH_batch.json`` (schema ``repro-bench-batch/1``) next to
+BENCH_rounds/BENCH_sweep/BENCH_predicates so CI can track the trajectory::
+
+    python benchmarks/bench_batch_scaling.py --sizes 16 64 128 --replica-counts 64 256
+
+Both backends are verified against each other (decisions and decision
+rounds per replica) before a cell's timing is accepted.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro._optional import have_numpy  # noqa: E402
+from repro.algorithms import OneThirdRule  # noqa: E402
+from repro.engine.rng import SeededRng  # noqa: E402
+from repro.rounds.backend import ReplicaBatch, ReplicaTask, get_backend  # noqa: E402
+from repro.rounds.bitmask import mask_of  # noqa: E402
+from repro.workloads.batched import _classic_oracle, _classic_values  # noqa: E402
+from repro.workloads.scenarios import _scope_for  # noqa: E402
+
+SCHEMA = "repro-bench-batch/1"
+
+FAULT_MODEL = "crash-stop"
+
+
+def build_batch(n: int, replicas: int, rounds: int, base_seed: int) -> ReplicaBatch:
+    """One ho-classic crash-stop cell: R replicas with seed-shuffled values.
+
+    Built from the same workload helpers the ``ho-classic-*`` scenarios use,
+    so the bench times exactly the cell the CI acceptance gate certifies.
+    ``run_full_horizon`` keeps every replica executing all ``rounds`` rounds,
+    so both backends do identical amounts of work and throughput numbers
+    compare rounds, not early-decision luck.
+    """
+    tasks = []
+    for i in range(replicas):
+        seed = base_seed + i
+        rng = SeededRng(seed)
+        tasks.append(
+            ReplicaTask(
+                seed=seed,
+                algorithm=OneThirdRule(n),
+                oracle=_classic_oracle(FAULT_MODEL, n, rng, rounds, 0.2),
+                initial_values=_classic_values(n, rng, shuffle_values=True),
+            )
+        )
+    return ReplicaBatch(
+        n=n,
+        tasks=tasks,
+        max_rounds=rounds,
+        scope_mask=mask_of(_scope_for(FAULT_MODEL, n)),
+        run_full_horizon=True,
+    )
+
+
+def time_backend(name: str, n: int, replicas: int, rounds: int, repeats: int):
+    backend = get_backend(name)
+    best = float("inf")
+    outcomes = None
+    for _ in range(repeats):
+        batch = build_batch(n, replicas, rounds, base_seed=1)
+        started = time.perf_counter()
+        outcomes = backend.run(batch)
+        best = min(best, time.perf_counter() - started)
+    return best, outcomes
+
+
+def benchmark(
+    sizes: List[int], replica_counts: List[int], rounds: int, repeats: int
+) -> Dict[str, Any]:
+    results = []
+    for n in sizes:
+        for replicas in replica_counts:
+            scalar_seconds, scalar_outcomes = time_backend(
+                "scalar", n, replicas, rounds, repeats
+            )
+            batch_seconds, batch_outcomes = time_backend(
+                "batch", n, replicas, rounds, repeats
+            )
+            assert [
+                (o.seed, sorted(o.decisions.items()), sorted(o.decision_rounds.items()))
+                for o in scalar_outcomes
+            ] == [
+                (o.seed, sorted(o.decisions.items()), sorted(o.decision_rounds.items()))
+                for o in batch_outcomes
+            ], f"backend divergence at n={n}, R={replicas}"
+            replica_rounds = replicas * rounds
+            speedup = scalar_seconds / batch_seconds
+            results.append(
+                {
+                    "n": n,
+                    "replicas": replicas,
+                    "rounds": rounds,
+                    "scalar_seconds": round(scalar_seconds, 6),
+                    "batch_seconds": round(batch_seconds, 6),
+                    "scalar_replica_rounds_per_second": round(
+                        replica_rounds / scalar_seconds, 1
+                    ),
+                    "batch_replica_rounds_per_second": round(
+                        replica_rounds / batch_seconds, 1
+                    ),
+                    "speedup": round(speedup, 2),
+                }
+            )
+            print(
+                f"n={n:<4} R={replicas:<5} scalar: {scalar_seconds * 1e3:9.1f}ms   "
+                f"batch: {batch_seconds * 1e3:8.1f}ms   speedup: {speedup:6.2f}x"
+            )
+    return {
+        "schema": SCHEMA,
+        "numpy": have_numpy(),
+        "environment": {"oracle": FAULT_MODEL, "algorithm": "one-third-rule"},
+        "repeats": repeats,
+        "results": results,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[16, 64, 128],
+        help="system sizes to sweep (default: 16 64 128)",
+    )
+    parser.add_argument(
+        "--replica-counts", nargs="+", type=int, default=[16, 64, 256],
+        help="replica counts per cell (default: 16 64 256)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=30,
+        help="rounds per replica, full horizon (default: 30)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats, best-of (default: 3)"
+    )
+    parser.add_argument(
+        "--json", default="BENCH_batch.json",
+        help="output path (default: BENCH_batch.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if not have_numpy():
+        print(
+            "warning: numpy unavailable -- the batch backend will run its "
+            "scalar fallback and speedups will be ~1x",
+            file=sys.stderr,
+        )
+    payload = benchmark(args.sizes, args.replica_counts, args.rounds, args.repeats)
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,53 @@
+"""Optional third-party dependencies, resolved once per process.
+
+The only optional dependency today is numpy, shipped as the ``fast`` extra
+(``pip install repro-hutle-schiper-2007[fast]``): the batch execution
+backend (:mod:`repro.batch`) vectorises replica batches with it, and every
+consumer degrades to a pure-Python path when it is absent.  All numpy users
+go through :data:`NUMPY` / :func:`have_numpy` so there is exactly one
+import-guard in the code base.
+
+Set ``REPRO_DISABLE_NUMPY=1`` in the environment to pretend numpy is not
+installed -- CI uses this (and a genuinely numpy-free matrix leg) to keep
+the fallback path honest.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Optional
+
+
+def _load_numpy() -> Optional[Any]:
+    if os.environ.get("REPRO_DISABLE_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:
+        return None
+    return numpy
+
+
+#: The numpy module, or None when unavailable (not installed, or disabled
+#: via ``REPRO_DISABLE_NUMPY``).  Resolved at import time: flipping the
+#: environment variable mid-process does not re-resolve it.
+NUMPY = _load_numpy()
+
+
+def have_numpy() -> bool:
+    """Whether the vectorised (numpy) paths are available in this process."""
+    return NUMPY is not None
+
+
+def require_numpy() -> Any:
+    """Return numpy or raise a pointed error naming the ``fast`` extra."""
+    if NUMPY is None:
+        raise RuntimeError(
+            "this code path needs numpy; install the 'fast' extra "
+            "(pip install 'repro-hutle-schiper-2007[fast]') or use the "
+            "pure-Python scalar backend"
+        )
+    return NUMPY
+
+
+__all__ = ["NUMPY", "have_numpy", "require_numpy"]

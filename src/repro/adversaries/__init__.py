@@ -19,12 +19,24 @@ satisfy or violate.
   partitions with churn, bursty (Gilbert-Elliott) link loss, and the
   eventually-stable coordinator;
 * :mod:`~repro.adversaries.synthesis` -- build an oracle that satisfies or
-  violates any :class:`~repro.core.predicates.CommunicationPredicate`.
+  violates any :class:`~repro.core.predicates.CommunicationPredicate`;
+* :mod:`~repro.adversaries.batch` -- the batched (replica-vectorised)
+  environment layer: the :class:`~repro.adversaries.batch.BatchOracle`
+  protocol, broadcasting for the replica-invariant classic zoo and the
+  automatic per-replica fallback loop for the stateful dynamic/combinator
+  families.
 
 ``repro.core.adversary`` remains as a thin compatibility shim re-exporting
 this package.
 """
 
+from .batch import (
+    BatchOracle,
+    BroadcastBatchOracle,
+    IntersectBatchOracle,
+    PerReplicaBatchOracle,
+    vectorize_oracles,
+)
 from .base import (
     HOOracle,
     HOOracleBase,
@@ -96,4 +108,10 @@ __all__ = [
     "CollectionOracle",
     "synthesize_collection",
     "synthesize_oracle",
+    # batched environments
+    "BatchOracle",
+    "BroadcastBatchOracle",
+    "PerReplicaBatchOracle",
+    "IntersectBatchOracle",
+    "vectorize_oracles",
 ]

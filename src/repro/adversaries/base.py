@@ -56,6 +56,14 @@ class HOOracleBase:
     derives the bitmask form used by the round engine's hot path.
     """
 
+    #: Whether this oracle's heard-of sets depend only on (round, process) --
+    #: no seeded randomness, no query-order state.  Replica-invariant oracles
+    #: produce the same masks in every replica of a batch, so the batch
+    #: backends broadcast one mask row instead of running the per-replica
+    #: fallback loop (:mod:`repro.adversaries.batch`).  Conservative default:
+    #: anything unmarked is treated as stateful.
+    replica_invariant: bool = False
+
     def __init__(self, n: int) -> None:
         if n <= 0:
             raise ValueError(f"number of processes must be positive, got {n}")

@@ -1,0 +1,224 @@
+"""Batched heard-of oracles: the replica-vectorised environment layer.
+
+A :class:`BatchOracle` produces, per round, the heard-of sets of *all* R
+replicas of a batch at once, as an ``(R, n, ceil(n/64))`` uint64 mask array
+(the word-spill layout of :func:`repro.rounds.bitmask.mask_to_words`).  Two
+strategies cover the whole oracle zoo:
+
+* :class:`BroadcastBatchOracle` -- for *replica-invariant* environments
+  (``oracle.replica_invariant``: the classic crash-stop / static-omission /
+  partition-schedule family, scripted and silent-round oracles, and any
+  combinator over those).  The masks depend only on ``(round, process)``,
+  so one scalar query per process is computed and broadcast across the
+  replica axis -- the vectorised classic zoo.
+* :class:`PerReplicaBatchOracle` -- the automatic fallback loop for the
+  stateful families (seeded omission/loss, the dynamic adversaries, any
+  combinator containing one).  Each replica owns the exact scalar oracle
+  the corresponding single run would use, queried replica by replica; the
+  transition kernels above stay vectorised, and bit-identity with the
+  scalar path is preserved because the very same oracle objects draw from
+  the very same :class:`~repro.engine.rng.SeededRng` streams.
+
+:func:`vectorize_oracles` picks the strategy.  Broadcasting additionally
+assumes the per-replica oracles were *constructed identically* (a
+replica-invariant oracle whose constructor arguments varied per seed would
+still differ across replicas); the scenario builders guarantee this by
+constructing deterministic oracles independently of the replica seed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+from .._optional import require_numpy
+from ..rounds.bitmask import full_mask, mask_to_words, word_count
+from .base import HOOracleBase
+
+
+@runtime_checkable
+class BatchOracle(Protocol):
+    """The environment of a replica batch: all replicas' masks, per round.
+
+    ``round_masks(round, active)`` returns the ``(R, n, W)`` uint64 array of
+    heard-of sets for *round*; *active* is an ``(R,)`` bool array and rows
+    of inactive replicas may hold arbitrary (ignored) masks -- a stopped
+    replica's oracle must not be queried further, exactly like a finished
+    scalar run.
+    """
+
+    n: int
+    replicas: int
+
+    def round_masks(self, round: int, active: Any) -> Any: ...
+
+
+class BroadcastBatchOracle:
+    """One replica-invariant scalar oracle, broadcast across the replica axis."""
+
+    def __init__(self, oracle: HOOracleBase, replicas: int) -> None:
+        np = require_numpy()
+        if not getattr(oracle, "replica_invariant", False):
+            raise ValueError(
+                f"{type(oracle).__name__} is not replica-invariant; "
+                "use PerReplicaBatchOracle"
+            )
+        self.np = np
+        self.oracle = oracle
+        self.n = oracle.n
+        self.replicas = replicas
+        self._words = word_count(self.n)
+        self._full = full_mask(self.n)
+        self._row = np.empty((self.n, self._words), dtype=np.uint64)
+
+    def round_masks(self, round: int, active: Any) -> Any:
+        np = self.np
+        oracle = self.oracle
+        full = self._full
+        row = self._row
+        for p in range(self.n):
+            row[p] = mask_to_words(oracle.ho_mask(round, p) & full, self.n)
+        return np.broadcast_to(row, (self.replicas, self.n, self._words))
+
+
+class PerReplicaBatchOracle:
+    """The fallback loop: one scalar oracle per replica, queried in a loop.
+
+    Queries follow the scalar engine's order (ascending process id per
+    round, replicas independent), so seeded oracles draw exactly the
+    streams their single-run twins draw.  Inactive replicas are skipped --
+    their oracles stop being queried the moment their run would have ended.
+    """
+
+    def __init__(self, oracles: Sequence[HOOracleBase]) -> None:
+        np = require_numpy()
+        if not oracles:
+            raise ValueError("at least one per-replica oracle is required")
+        n = oracles[0].n
+        for oracle in oracles:
+            if oracle.n != n:
+                raise ValueError("per-replica oracles must share one system size")
+        self.np = np
+        self.oracles = list(oracles)
+        self.n = n
+        self.replicas = len(self.oracles)
+        self._words = word_count(n)
+        self._full = full_mask(n)
+        self._buffer = np.zeros((self.replicas, n, self._words), dtype=np.uint64)
+
+    def round_masks(self, round: int, active: Any) -> Any:
+        buffer = self._buffer
+        full = self._full
+        n = self.n
+        for r, oracle in enumerate(self.oracles):
+            if not active[r]:
+                continue
+            mask_fn = oracle.ho_mask
+            for p in range(n):
+                buffer[r, p] = mask_to_words(mask_fn(round, p) & full, n)
+        return buffer
+
+
+class IntersectBatchOracle:
+    """Intersection of batch oracles (the batched ``IntersectOracle``)."""
+
+    def __init__(self, *components: BatchOracle) -> None:
+        if not components:
+            raise ValueError("at least one component is required")
+        self.components = components
+        self.n = components[0].n
+        self.replicas = components[0].replicas
+        for component in components:
+            if (component.n, component.replicas) != (self.n, self.replicas):
+                raise ValueError("components must share (n, replicas)")
+
+    def round_masks(self, round: int, active: Any) -> Any:
+        masks = self.components[0].round_masks(round, active)
+        for component in self.components[1:]:
+            masks = masks & component.round_masks(round, active)
+        return masks
+
+
+def _structurally_equal(a: Any, b: Any) -> bool:
+    """Whether two oracle objects were constructed with the same parameters.
+
+    Replica invariance says an oracle's masks depend only on ``(round,
+    process)`` *and its constructor arguments* -- a batch may still have
+    been built with per-replica arguments (say, a different crash round per
+    seed), in which case broadcasting replica 0 would be silently wrong.
+    Deterministic oracles keep all their construction state in plain
+    instance attributes (ints, masks, dicts, nested component oracles), so
+    structural equality over those attributes is a sound broadcast check;
+    anything uncomparable conservatively fails it.
+    """
+    if a is b:
+        return True
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, HOOracleBase):
+        return _structurally_equal(a.__dict__, b.__dict__)
+    if isinstance(a, dict):
+        return a.keys() == b.keys() and all(_structurally_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(map(_structurally_equal, a, b))
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def vectorize_oracles(oracles: Sequence[HOOracleBase], replicas: int) -> Any:
+    """The batch oracle for one oracle per replica, broadcast when sound.
+
+    *oracles* holds the scalar oracle of every replica (length R).  The
+    batch is served by broadcasting replica 0's oracle exactly when every
+    oracle is replica-invariant *and* structurally equal to it (same class,
+    same constructor state, recursively through combinator components) --
+    replica-varying or stateful environments keep one oracle per replica
+    via the fallback loop, so broadcasting can never silently change a
+    replica's environment.
+
+    Intersections decompose: a batch of ``IntersectOracle``\\ s mixing
+    deterministic and *one* stateful component (the common crash-schedule-
+    plus-seeded-loss shape) is rebuilt as an :class:`IntersectBatchOracle`
+    whose deterministic components broadcast while only the stateful one
+    runs the per-replica loop.  Decomposition reorders queries *across*
+    components (component by component instead of process by process), so
+    it is only taken when at most one component draws randomness -- two
+    stateful components sharing a stream would otherwise interleave their
+    draws differently than the scalar engine.
+    """
+    from .combinators import IntersectOracle
+
+    if len(oracles) != replicas:
+        raise ValueError(f"expected {replicas} oracles, got {len(oracles)}")
+    if getattr(oracles[0], "replica_invariant", False) and all(
+        _structurally_equal(oracle, oracles[0]) for oracle in oracles[1:]
+    ):
+        return BroadcastBatchOracle(oracles[0], replicas)
+    if isinstance(oracles[0], IntersectOracle):
+        arity = len(oracles[0].oracles)
+        if arity > 1 and all(
+            type(oracle) is IntersectOracle and len(oracle.oracles) == arity
+            for oracle in oracles
+        ):
+            components = [
+                vectorize_oracles([oracle.oracles[i] for oracle in oracles], replicas)
+                for i in range(arity)
+            ]
+            stateful = sum(
+                1 for c in components if not isinstance(c, BroadcastBatchOracle)
+            )
+            if stateful <= 1 and any(
+                isinstance(c, BroadcastBatchOracle) for c in components
+            ):
+                return IntersectBatchOracle(*components)
+    return PerReplicaBatchOracle(oracles)
+
+
+__all__ = [
+    "BatchOracle",
+    "BroadcastBatchOracle",
+    "PerReplicaBatchOracle",
+    "IntersectBatchOracle",
+    "vectorize_oracles",
+]

@@ -25,6 +25,8 @@ from .base import MaskOracleBase, bernoulli_mask, oracle_rng
 class FaultFreeOracle(MaskOracleBase):
     """No transmission faults at all: ``HO(p, r) = Pi`` for every p and r."""
 
+    replica_invariant = True
+
     def ho_mask(self, round: Round, process: ProcessId) -> int:
         return self._full
 
@@ -35,6 +37,8 @@ class StaticCrashOracle(MaskOracleBase):
     *crash_rounds* maps a process to the first round in which its messages
     are no longer received (it "crashed before sending" in that round).
     """
+
+    replica_invariant = True
 
     def __init__(self, n: int, crash_rounds: Mapping[ProcessId, Round]) -> None:
         super().__init__(n)
@@ -120,6 +124,8 @@ class PartitionOracle(MaskOracleBase):
     fault free.
     """
 
+    replica_invariant = True
+
     def __init__(
         self,
         n: int,
@@ -155,6 +161,8 @@ class SilentRoundsOracle(MaskOracleBase):
     this oracle exercises that corner (used in tests of Theorem 1).
     """
 
+    replica_invariant = True
+
     def __init__(self, n: int, silent_rounds: Iterable[Round]) -> None:
         super().__init__(n)
         self.silent_rounds = frozenset(silent_rounds)
@@ -172,6 +180,8 @@ class ScriptedOracle(MaskOracleBase):
     (the full process set unless stated otherwise).  This is the work-horse
     of unit tests that need precise control over heard-of sets.
     """
+
+    replica_invariant = True
 
     def __init__(
         self,

@@ -41,6 +41,13 @@ def _adapt_all(n: int, oracles: Sequence[HOOracle]) -> List[HOOracleBase]:
     return [ensure_oracle(oracle, n) for oracle in oracles]
 
 
+def _all_replica_invariant(oracles: Sequence[HOOracleBase]) -> bool:
+    # Combinators are replica-invariant exactly when every component is:
+    # set algebra over deterministic masks stays deterministic, and one
+    # stateful component makes the whole composition per-replica.
+    return all(oracle.replica_invariant for oracle in oracles)
+
+
 class IntersectOracle(MaskOracleBase):
     """Hear a sender only if *every* component environment delivers it.
 
@@ -52,6 +59,7 @@ class IntersectOracle(MaskOracleBase):
     def __init__(self, n: int, *oracles: HOOracle) -> None:
         super().__init__(n)
         self.oracles = _adapt_all(n, oracles)
+        self.replica_invariant = _all_replica_invariant(self.oracles)
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
         # Every component is queried even after the mask empties: a skipped
@@ -73,6 +81,7 @@ class UnionOracle(MaskOracleBase):
     def __init__(self, n: int, *oracles: HOOracle) -> None:
         super().__init__(n)
         self.oracles = _adapt_all(n, oracles)
+        self.replica_invariant = _all_replica_invariant(self.oracles)
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
         # As in IntersectOracle: never short-circuit past a component, so
@@ -116,6 +125,7 @@ class SequenceOracle(MaskOracleBase):
                 start += rounds
         self._starts = starts
         self._oracles = oracles
+        self.replica_invariant = _all_replica_invariant(oracles)
 
     def _segment_for(self, round: Round) -> Tuple[HOOracleBase, Round]:
         index = len(self._starts) - 1
@@ -151,6 +161,7 @@ class WindowSwitchOracle(MaskOracleBase):
             raise ValueError(f"window must be positive, got {window}")
         self.window = window
         self.oracles = _adapt_all(n, oracles)
+        self.replica_invariant = _all_replica_invariant(self.oracles)
 
     def ho_mask(self, round: Round, process: ProcessId) -> int:
         epoch = (round - 1) // self.window

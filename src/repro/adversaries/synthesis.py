@@ -42,6 +42,8 @@ class CollectionOracle(MaskOracleBase):
     machine runnable past the synthesised prefix.
     """
 
+    replica_invariant = True
+
     def __init__(self, collection: HOCollection, default_mask: Optional[int] = None) -> None:
         super().__init__(collection.n)
         self.collection = collection

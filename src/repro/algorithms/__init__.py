@@ -6,8 +6,21 @@
   coordinator-based algorithm the paper refers to (reference [6]);
 * :class:`~repro.algorithms.uniform_voting.UniformVoting` -- a
   two-rounds-per-phase algorithm for non-empty-kernel predicates.
+
+:mod:`repro.algorithms.batched` holds the replica-vectorised batch kernels
+of all three (the ``(R, n)``-array duals behind the batch execution
+backend); importable without numpy, runnable only with it.
 """
 
+from .batched import (
+    BatchKernel,
+    BatchLastVoting,
+    BatchOneThirdRule,
+    BatchUniformVoting,
+    BatchUnsupported,
+    batch_kernel_for,
+    register_batch_kernel,
+)
 from .last_voting import LastVoting, LastVotingMessage, LastVotingState
 from .one_third_rule import OneThirdRule, OneThirdRuleMessage, OneThirdRuleState
 from .uniform_voting import UniformVoting, UniformVotingMessage, UniformVotingState
@@ -22,4 +35,12 @@ __all__ = [
     "UniformVoting",
     "UniformVotingState",
     "UniformVotingMessage",
+    # batched kernels
+    "BatchKernel",
+    "BatchOneThirdRule",
+    "BatchUniformVoting",
+    "BatchLastVoting",
+    "BatchUnsupported",
+    "batch_kernel_for",
+    "register_batch_kernel",
 ]

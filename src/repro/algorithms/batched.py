@@ -1,0 +1,383 @@
+"""Batched (replica-vectorised) transition kernels for the consensus algorithms.
+
+A *batch kernel* is the ``(R, n)``-array dual of a scalar algorithm's
+``send``/``transition``/``decision`` triple: it advances R independent
+replicas of the same algorithm through one lockstep round at a time, given
+the round's boolean heard-matrix ``H[r, p, q]`` ("replica r's process p
+heard sender q").  Kernels are the compute core of the batch execution
+backend (:mod:`repro.batch`); the contract -- checked by the equivalence
+tests -- is that replica ``r`` evolves *bit-identically* to a scalar run of
+the same algorithm under the same heard-of sets, including tie-breaking.
+
+Values are encoded per replica as integer *codes* into a sorted table of
+that replica's distinct initial values.  The encoding is order-isomorphic
+(codes sort exactly like values), so ``min``/equality/counting on codes
+reproduce the scalar semantics; every shipped algorithm only ever adopts
+received values, so the table never grows.  Replicas whose initial values
+are not totally ordered (or not hashable) cannot be encoded --
+:func:`encode_values` raises :class:`BatchUnsupported` and the backend
+falls back to the scalar loop.
+
+The scalar tie-breaks faithfully reproduced here:
+
+* OneThirdRule adopts, among the values tied for the highest multiplicity,
+  the one whose *first occurrence* (in ascending heard-sender order) comes
+  first -- the ``Counter.most_common`` insertion-order tie-break;
+* UniformVoting's ``votes[0]`` is the vote of the lowest-id heard sender
+  carrying one;
+* LastVoting's coordinator picks, among highest-timestamp estimates, the
+  value that is smallest *by* ``repr`` (the scalar ``sorted(..., key=repr)``),
+  which the kernel precomputes as a per-replica repr-rank permutation.
+
+This module imports numpy lazily through :mod:`repro._optional`; it is
+importable without numpy, and only constructing a kernel requires it.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from .._optional import require_numpy
+from .last_voting import LastVoting
+from .one_third_rule import OneThirdRule
+from .uniform_voting import UniformVoting
+
+
+class BatchUnsupported(Exception):
+    """Raised when a batch kernel cannot represent the requested replicas.
+
+    The batch backend treats this as "vectorisation cannot engage" and runs
+    the per-replica scalar fallback loop instead; it is never a user error.
+    """
+
+
+def encode_values(initial_values: Sequence[Any]) -> Tuple[List[Any], List[int]]:
+    """Encode one replica's initial values as codes into a sorted value table.
+
+    Returns ``(table, codes)`` with ``table`` sorted ascending and
+    ``codes[p]`` the index of process p's value.  Raises
+    :class:`BatchUnsupported` when the values are not mutually comparable
+    or not hashable (the scalar algorithms need total order anyway, but the
+    kernel must refuse rather than guess), or when two values compare equal
+    yet differ in ``repr`` (e.g. ``1`` and ``1.0``): the encoding keeps one
+    representative per equality class, which would silently change the
+    estimates the scalar path reports -- and LastVoting's repr tie-break --
+    so such batches take the scalar loop instead.
+    """
+    try:
+        table = sorted(set(initial_values))
+    except TypeError as exc:
+        raise BatchUnsupported(f"initial values are not encodable: {exc}") from None
+    index = {value: code for code, value in enumerate(table)}
+    codes = []
+    for value in initial_values:
+        code = index[value]
+        if repr(table[code]) != repr(value):
+            raise BatchUnsupported(
+                f"values {table[code]!r} and {value!r} compare equal but differ "
+                "in repr; the code table cannot represent both"
+            )
+        codes.append(code)
+    return table, codes
+
+
+class BatchKernel(abc.ABC):
+    """R replicas of one algorithm, advanced one lockstep round at a time.
+
+    Subclasses own the per-field state arrays; the shared base holds the
+    value encoding, the decision bookkeeping (``decision_code`` with ``-1``
+    for undecided, ``decision_round``) and the decode helpers the engine
+    uses for outcomes and fingerprints.
+    """
+
+    #: the scalar algorithm class this kernel is the dual of.
+    algorithm_class: Type[Any]
+
+    def __init__(self, n: int, initial_values: Sequence[Sequence[Any]]) -> None:
+        np = require_numpy()
+        if n <= 0:
+            raise ValueError(f"number of processes must be positive, got {n}")
+        self.np = np
+        self.n = n
+        self.replicas = len(initial_values)
+        if self.replicas == 0:
+            raise ValueError("at least one replica is required")
+        tables: List[List[Any]] = []
+        codes: List[List[int]] = []
+        for values in initial_values:
+            if len(values) != n:
+                raise ValueError(f"expected {n} initial values, got {len(values)}")
+            table, row = encode_values(values)
+            tables.append(table)
+            codes.append(row)
+        self.tables = tables
+        #: (R, n) int32 -- the current estimate of every process, as a code.
+        self.x = np.array(codes, dtype=np.int32)
+        #: (R, n) int32 -- decision codes, -1 while undecided.
+        self.decision_code = np.full((self.replicas, n), -1, dtype=np.int32)
+        #: (R, n) int32 -- round of first decision, 0 while undecided.
+        self.decision_round = np.zeros((self.replicas, n), dtype=np.int32)
+
+    # ------------------------------------------------------------------ #
+    # the lockstep step
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def step(self, round: int, heard: Any, active: Any) -> None:
+        """Advance every replica where ``active[r]`` through *round*.
+
+        *heard* is the round's boolean heard-matrix ``(R, n, n)``
+        (receiver-major); inactive replicas' state must not change.
+        """
+
+    def _record_decisions(self, round: int, fire: Any, value_codes: Any) -> None:
+        """Latch first decisions: where *fire*, decide *value_codes* at *round*."""
+        np = self.np
+        fresh = fire & (self.decision_code < 0)
+        self.decision_code = np.where(fresh, value_codes, self.decision_code)
+        self.decision_round = np.where(fresh, round, self.decision_round)
+
+    # ------------------------------------------------------------------ #
+    # engine-facing queries
+    # ------------------------------------------------------------------ #
+
+    def decided(self) -> Any:
+        """(R, n) bool -- which processes have decided."""
+        return self.decision_code >= 0
+
+    def scope_all_decided(self, scope_processes: Sequence[int]) -> Any:
+        """(R,) bool -- replicas in which every scope process decided."""
+        if not scope_processes:
+            return self.np.ones(self.replicas, dtype=bool)
+        return (self.decision_code[:, list(scope_processes)] >= 0).all(axis=1)
+
+    def decode(self, replica: int, code: int) -> Any:
+        return self.tables[replica][code]
+
+    def decisions_of(self, replica: int) -> Tuple[Dict[int, Any], Dict[int, int]]:
+        """The (decisions, decision_rounds) dicts of one replica, decoded."""
+        decisions: Dict[int, Any] = {}
+        rounds: Dict[int, int] = {}
+        row = self.decision_code[replica]
+        for p in range(self.n):
+            code = int(row[p])
+            if code >= 0:
+                decisions[p] = self.tables[replica][code]
+                rounds[p] = int(self.decision_round[replica, p])
+        return decisions, rounds
+
+    def estimate_reprs(self, replica: int) -> List[str]:
+        """``repr`` of every process's current estimate (fingerprint food)."""
+        table = self.tables[replica]
+        return [repr(table[int(code)]) for code in self.x[replica]]
+
+    def newly_decided(self, replica: int, decided_before: Any) -> List[Tuple[int, str]]:
+        """Decisions that fired this round in *replica* (fingerprint food)."""
+        out: List[Tuple[int, str]] = []
+        row = self.decision_code[replica]
+        for p in range(self.n):
+            if row[p] >= 0 and not decided_before[replica, p]:
+                out.append((p, repr(self.tables[replica][int(row[p])])))
+        return out
+
+    # shared helpers ---------------------------------------------------- #
+
+    def _min_heard_code(self, heard: Any) -> Any:
+        """(R, n) -- min estimate code among heard senders (garbage when none)."""
+        np = self.np
+        big = np.int32(self.n + 1)
+        return np.where(heard, self.x[:, None, :], big).min(axis=2)
+
+    def _first_heard_code(self, eligible: Any) -> Any:
+        """(R, n) -- code of the lowest-id sender with ``eligible[r, p, q]``.
+
+        Garbage where no sender is eligible; callers mask with the
+        eligibility count.
+        """
+        np = self.np
+        qstar = eligible.argmax(axis=2)
+        return np.take_along_axis(self.x, qstar, axis=1)
+
+
+class BatchOneThirdRule(BatchKernel):
+    """The ``(R, n)`` dual of :class:`~repro.algorithms.OneThirdRule`."""
+
+    algorithm_class = OneThirdRule
+
+    def step(self, round: int, heard: Any, active: Any) -> None:
+        np = self.np
+        n = self.n
+        x = self.x
+        hc = heard.sum(axis=2, dtype=np.int32)                      # (R, n)
+        act = active[:, None] & (3 * hc > 2 * n)                    # update gate
+
+        # Multiplicity of every value code among heard senders, via one
+        # batched matmul: counts[r, p, v] = |{q in HO(p) : x_q = v}|.
+        onehot = (x[:, :, None] == np.arange(n, dtype=np.int32)).astype(np.float32)
+        counts = np.matmul(heard.astype(np.float32), onehot)        # (R, n, n)
+        top = counts.max(axis=2)                                    # (R, n) float
+        top_i = top.astype(np.int32)
+
+        # Counter.most_common tie-break: the winning value is the one carried
+        # by the first heard sender whose value attains the top count.
+        counts_by_sender = np.take_along_axis(
+            counts, np.broadcast_to(x[:, None, :], heard.shape), axis=2
+        )
+        winner = self._first_heard_code(heard & (counts_by_sender == top[:, :, None]))
+
+        adopt_top = (hc - top_i) <= n // 3
+        new_x = np.where(adopt_top, winner, self._min_heard_code(heard))
+        self.x = np.where(act, new_x, x)
+
+        # A value with multiplicity > 2n/3 is unique, and is the top value.
+        self._record_decisions(round, act & (3 * top_i > 2 * n), winner)
+
+
+class BatchUniformVoting(BatchKernel):
+    """The ``(R, n)`` dual of :class:`~repro.algorithms.UniformVoting`."""
+
+    algorithm_class = UniformVoting
+
+    def __init__(self, n: int, initial_values: Sequence[Sequence[Any]]) -> None:
+        super().__init__(n, initial_values)
+        #: (R, n) int32 -- current-phase vote codes, -1 for None.
+        self.vote = self.np.full((self.replicas, n), -1, dtype=self.np.int32)
+
+    def step(self, round: int, heard: Any, active: Any) -> None:
+        np = self.np
+        n = self.n
+        hc = heard.sum(axis=2, dtype=np.int32)
+        act = np.broadcast_to(active[:, None], (self.replicas, n))
+        if round % 2 == 1:
+            # Voting round: vote for the common estimate iff every heard
+            # estimate is equal (and something was heard); else vote None.
+            big = np.int32(n + 1)
+            lo = np.where(heard, self.x[:, None, :], big).min(axis=2)
+            hi = np.where(heard, self.x[:, None, :], np.int32(-1)).max(axis=2)
+            unanimous = (hc > 0) & (lo == hi)
+            self.vote = np.where(act, np.where(unanimous, lo, np.int32(-1)), self.vote)
+            return
+
+        # Resolve round: adopt the first heard vote (or the min estimate),
+        # decide iff every heard sender voted; votes always reset.
+        has_any = hc > 0
+        votes_heard = heard & (self.vote[:, None, :] >= 0)
+        nv = votes_heard.sum(axis=2, dtype=np.int32)
+        qstar = votes_heard.argmax(axis=2)
+        first_vote = np.take_along_axis(self.vote, qstar, axis=1)
+        new_x = np.where(nv > 0, first_vote, self._min_heard_code(heard))
+        upd = act & has_any
+        self.x = np.where(upd, new_x, self.x)
+        self._record_decisions(round, upd & (nv == hc), first_vote)
+        self.vote = np.where(act, np.int32(-1), self.vote)
+
+
+class BatchLastVoting(BatchKernel):
+    """The ``(R, n)`` dual of :class:`~repro.algorithms.LastVoting`."""
+
+    algorithm_class = LastVoting
+
+    ROUNDS_PER_PHASE = LastVoting.ROUNDS_PER_PHASE
+
+    def __init__(self, n: int, initial_values: Sequence[Sequence[Any]]) -> None:
+        super().__init__(n, initial_values)
+        np = self.np
+        shape = (self.replicas, n)
+        self.timestamp = np.zeros(shape, dtype=np.int32)
+        self.vote = np.full(shape, -1, dtype=np.int32)
+        self.commit = np.zeros(shape, dtype=bool)
+        self.ready = np.zeros(shape, dtype=bool)
+        # The coordinator breaks value ties by repr order (the scalar
+        # ``sorted(..., key=repr)``): per replica, rank codes by the repr of
+        # their value and keep the inverse permutation, padded to width n.
+        rank_of_code = np.zeros(shape, dtype=np.int32)
+        code_at_rank = np.zeros(shape, dtype=np.int32)
+        for r, table in enumerate(self.tables):
+            order = sorted(range(len(table)), key=lambda code: repr(table[code]))
+            for rank, code in enumerate(order):
+                rank_of_code[r, code] = rank
+                code_at_rank[r, rank] = code
+        self.rank_of_code = rank_of_code
+        self.code_at_rank = code_at_rank
+
+    def step(self, round: int, heard: Any, active: Any) -> None:
+        np = self.np
+        n = self.n
+        phase = (round - 1) // self.ROUNDS_PER_PHASE + 1
+        step = (round - 1) % self.ROUNDS_PER_PHASE + 1
+        coord = (phase - 1) % n
+        heard_by_coord = heard[:, coord, :]                          # (R, n)
+        hears_coord = heard[:, :, coord]                             # (R, n)
+
+        if step == 1:
+            # Coordinator selects the best-timestamped estimate from a
+            # majority, smallest by repr among ties.
+            hc = heard_by_coord.sum(axis=1, dtype=np.int32)
+            upd = active & (2 * hc > n)
+            best_ts = np.where(heard_by_coord, self.timestamp, np.int32(-1)).max(axis=1)
+            eligible = heard_by_coord & (self.timestamp == best_ts[:, None])
+            rank_x = np.take_along_axis(self.rank_of_code, self.x, axis=1)
+            best_rank = np.where(eligible, rank_x, np.int32(n)).min(axis=1)
+            best_rank = np.minimum(best_rank, np.int32(n - 1))
+            selected = np.take_along_axis(
+                self.code_at_rank, best_rank[:, None], axis=1
+            )[:, 0]
+            self.vote[:, coord] = np.where(upd, selected, self.vote[:, coord])
+            self.commit[:, coord] |= upd
+            return
+
+        if step == 2:
+            # Everyone who hears a committed coordinator adopts its vote.
+            upd = active[:, None] & hears_coord & self.commit[:, coord][:, None]
+            self.x = np.where(upd, self.vote[:, coord][:, None], self.x)
+            self.timestamp = np.where(upd, np.int32(phase), self.timestamp)
+            return
+
+        if step == 3:
+            # Coordinator counts acks (current-phase timestamps) for a majority.
+            acks = (heard_by_coord & (self.timestamp == phase)).sum(axis=1, dtype=np.int32)
+            self.ready[:, coord] |= active & (2 * acks > n)
+            return
+
+        # Step 4: decide on a heard "decide"; the phase flags always reset.
+        fire = active[:, None] & hears_coord & self.ready[:, coord][:, None]
+        self._record_decisions(round, fire, self.vote[:, coord][:, None])
+        act = active[:, None]
+        self.commit &= ~act
+        self.ready &= ~act
+
+
+#: Kernel lookup by scalar algorithm class (subclasses resolve to their base
+#: kernel unless they register their own).
+_KERNELS: Dict[Type[Any], Type[BatchKernel]] = {
+    OneThirdRule: BatchOneThirdRule,
+    UniformVoting: BatchUniformVoting,
+    LastVoting: BatchLastVoting,
+}
+
+
+def register_batch_kernel(algorithm_class: Type[Any], kernel: Type[BatchKernel]) -> None:
+    """Register *kernel* as the batched dual of *algorithm_class*."""
+    _KERNELS[algorithm_class] = kernel
+
+
+def batch_kernel_for(algorithm: Any) -> Optional[Type[BatchKernel]]:
+    """The kernel class for a scalar algorithm instance, or None.
+
+    Exact class match only: a subclass may have overridden ``transition``,
+    and silently running the base kernel would break bit-identity.
+    """
+    return _KERNELS.get(type(algorithm))
+
+
+__all__ = [
+    "BatchUnsupported",
+    "encode_values",
+    "BatchKernel",
+    "BatchOneThirdRule",
+    "BatchUniformVoting",
+    "BatchLastVoting",
+    "register_batch_kernel",
+    "batch_kernel_for",
+]

@@ -1,0 +1,142 @@
+"""The ``batch`` execution backend: vectorise when possible, fall back when not.
+
+:class:`BatchBackend` is the decision layer in front of the
+:class:`~repro.batch.engine.BatchEngine`.  For every
+:class:`~repro.rounds.backend.ReplicaBatch` it checks whether vectorisation
+can engage:
+
+1. numpy is available (the ``fast`` extra; honours ``REPRO_DISABLE_NUMPY``);
+2. every replica runs the same algorithm class and a batched kernel is
+   registered for it (:func:`repro.algorithms.batched.batch_kernel_for`);
+3. every replica's initial values are encodable (totally ordered, hashable);
+4. monitoring, if requested, came with a declarative
+   :class:`~repro.rounds.backend.MonitorSpec` (an opaque observer factory
+   cannot be vectorised).
+
+When any check fails the batch runs on the scalar reference backend
+instead -- same outcomes, replica by replica, just without the array hot
+path.  ``last_fallback_reason`` records why, for tests and for the
+benchmark harness to report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, List, Optional
+
+from .._optional import have_numpy
+from ..rounds.backend import (
+    ReplicaBatch,
+    ReplicaOutcome,
+    ScalarBackend,
+    register_backend,
+)
+from .engine import BatchEngine
+
+
+class BatchBackend:
+    """Vectorised lockstep execution of replica batches, with a scalar safety net."""
+
+    name = "batch"
+
+    def __init__(self, force_fallback: bool = False) -> None:
+        self.force_fallback = force_fallback
+        self._scalar = ScalarBackend()
+        #: why the last ``run`` fell back to the scalar loop (None = it
+        #: vectorised).  Diagnostic only; outcomes are identical either way.
+        self.last_fallback_reason: Optional[str] = None
+
+    def run(self, batch: ReplicaBatch) -> List[ReplicaOutcome]:
+        reason = self._fallback_reason(batch)
+        engine: Optional[BatchEngine] = None
+        if reason is None:
+            engine, reason = self._try_build_engine(batch)
+        self.last_fallback_reason = reason
+        if engine is None:
+            return self._scalar.run(self._with_scalar_monitors(batch))
+        return engine.run()
+
+    @staticmethod
+    def _with_scalar_monitors(batch: ReplicaBatch) -> ReplicaBatch:
+        """Derive a scalar monitor factory from the spec before falling back.
+
+        A caller may attach only the declarative :class:`MonitorSpec`
+        (vectorised monitoring needs nothing else); the scalar loop monitors
+        through observers, so the fallback must synthesise the equivalent
+        :class:`~repro.predicates.MonitorBank` factory -- otherwise the two
+        paths would diverge in reports *and* in early-stop timing, breaking
+        the identical-results contract.
+        """
+        if batch.monitor_spec is None or batch.monitor_factory is not None:
+            return batch
+        from ..predicates import build_monitor_bank
+        from ..rounds.bitmask import iter_bits
+
+        spec = batch.monitor_spec
+        pi0 = None if spec.pi0_mask is None else frozenset(iter_bits(spec.pi0_mask))
+        factory = lambda: build_monitor_bank(  # noqa: E731
+            batch.n, spec.predicates, pi0=pi0, stop_after_held=spec.stop_after_held
+        )
+        return replace(batch, monitor_factory=factory)
+
+    # ------------------------------------------------------------------ #
+    # the vectorisation decision
+    # ------------------------------------------------------------------ #
+
+    def _fallback_reason(self, batch: ReplicaBatch) -> Optional[str]:
+        if self.force_fallback:
+            return "forced"
+        if not have_numpy():
+            return "numpy unavailable (install the 'fast' extra)"
+        from ..algorithms.batched import batch_kernel_for
+
+        if any(task.algorithm.n != batch.n for task in batch.tasks):
+            # The scalar loop raises for mis-sized algorithms; route the
+            # batch there so both backends reject the same input identically.
+            return "algorithm size does not match the batch"
+        algorithm_classes = {type(task.algorithm) for task in batch.tasks}
+        if len(algorithm_classes) != 1:
+            return f"mixed algorithm classes: {sorted(c.__name__ for c in algorithm_classes)}"
+        if batch_kernel_for(batch.tasks[0].algorithm) is None:
+            return f"no batched kernel for {batch.tasks[0].algorithm.__class__.__name__}"
+        if batch.monitor_factory is not None and batch.monitor_spec is None:
+            return "opaque monitor factory without a MonitorSpec"
+        return None
+
+    def _try_build_engine(
+        self, batch: ReplicaBatch
+    ) -> "tuple[Optional[BatchEngine], Optional[str]]":
+        from ..adversaries.batch import vectorize_oracles
+        from ..algorithms.batched import BatchUnsupported, batch_kernel_for
+
+        kernel_class = batch_kernel_for(batch.tasks[0].algorithm)
+        assert kernel_class is not None
+        try:
+            kernel = kernel_class(
+                batch.n, [list(task.initial_values) for task in batch.tasks]
+            )
+        except BatchUnsupported as exc:
+            # Unencodable values are only detectable by trying; degrade.
+            return None, str(exc)
+        oracle = vectorize_oracles(
+            [task.oracle for task in batch.tasks], batch.replicas
+        )
+        monitors: Optional[Any] = None
+        if batch.monitor_spec is not None:
+            from ..predicates.batch import BatchMonitorBank
+
+            spec = batch.monitor_spec
+            monitors = BatchMonitorBank(
+                batch.n,
+                batch.replicas,
+                spec.predicates,
+                pi0_mask=spec.pi0_mask,
+                stop_after_held=spec.stop_after_held,
+            )
+        return BatchEngine(batch, kernel, oracle, monitors), None
+
+
+register_backend(BatchBackend())
+
+
+__all__ = ["BatchBackend"]

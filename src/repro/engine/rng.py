@@ -51,6 +51,22 @@ class SeededRng:
         """A derived :class:`SeededRng` whose streams are independent of this one."""
         return SeededRng(derive_seed(self.seed, name))
 
+    def replicate(self, index: int) -> "SeededRng":
+        """The rng of batch replica *index*: exactly the single run seeded ``seed + index``.
+
+        Sweep grids enumerate seeds as consecutive integers, so "replica
+        ``i`` of a batch rooted at ``seed``" and "the single run with seed
+        ``seed + i``" must be the same experiment.  ``replicate`` therefore
+        deliberately re-roots the whole stream family at ``seed + index``
+        rather than deriving a hashed sub-seed: every named stream of the
+        returned rng is bit-identical to the stream the corresponding single
+        run would draw from, which is what lets the batch backends promise
+        per-seed bit-identical replicas.
+        """
+        if index < 0:
+            raise ValueError(f"replica index must be non-negative, got {index}")
+        return SeededRng(self.seed + index)
+
     def streams(self) -> Iterator[Tuple[str, random.Random]]:
         """The streams created so far (for state snapshots in tests)."""
         return iter(self._streams.items())

@@ -10,7 +10,11 @@ pair (Section 3.1, Table 1) -- lives here in two dual forms:
   round of bitmask heard-of sets at a time in O(window * n) memory, reach
   the same verdicts online, accumulate hold/violation run-lengths into
   compact :class:`~repro.predicates.reports.PredicateReport` objects, and
-  drive early-stop policies through the round engine's observer hook.
+  drive early-stop policies through the round engine's observer hook;
+* :mod:`repro.predicates.batch` -- the replica-vectorised duals of the
+  streaming monitors, consuming ``(R, n, ceil(n/64))`` uint64 mask arrays
+  for all R replicas of a batch at once (numpy-only; imported lazily by the
+  batch execution backend, hence not re-exported here).
 
 ``repro.core.predicates`` remains as an import shim over the static half
 (mirroring the ``core.adversary`` -> ``repro.adversaries`` precedent).

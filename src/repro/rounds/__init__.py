@@ -11,7 +11,20 @@ This package sits *below* :mod:`repro.core`: it depends only on the standard
 library, so every layer above can share it without import cycles.
 """
 
+from .backend import (
+    AUTO_BACKEND,
+    ExecutionBackend,
+    MonitorSpec,
+    ReplicaBatch,
+    ReplicaOutcome,
+    ReplicaTask,
+    ScalarBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .bitmask import (
+    WORD_BITS,
     MaskMapping,
     bit_count,
     full_mask,
@@ -20,6 +33,9 @@ from .bitmask import (
     mask_issubset,
     mask_of,
     mask_to_frozenset,
+    mask_to_words,
+    word_count,
+    words_to_mask,
 )
 from .engine import (
     OracleTransport,
@@ -41,7 +57,22 @@ __all__ = [
     "iter_bits",
     "mask_contains",
     "mask_issubset",
+    "WORD_BITS",
+    "word_count",
+    "mask_to_words",
+    "words_to_mask",
     "MaskMapping",
+    # execution backends
+    "AUTO_BACKEND",
+    "ExecutionBackend",
+    "ScalarBackend",
+    "MonitorSpec",
+    "ReplicaTask",
+    "ReplicaBatch",
+    "ReplicaOutcome",
+    "register_backend",
+    "backend_names",
+    "get_backend",
     # unified record schema
     "RoundRecord",
     "DecisionRecord",

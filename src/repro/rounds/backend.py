@@ -1,0 +1,383 @@
+"""Pluggable execution backends for oracle-driven replica batches.
+
+Every measurement the paper makes (Table 1, Section 4.2, the 2f+3
+translation bound) is a statement about a *distribution over runs*: the same
+heard-of-oracle scenario, executed under R seeds, then aggregated.  An
+:class:`ExecutionBackend` owns exactly that unit of work -- a
+:class:`ReplicaBatch` of R seeded replicas of one lockstep scenario -- and
+returns one :class:`ReplicaOutcome` per replica.
+
+Two backends ship:
+
+* ``scalar`` -- :class:`ScalarBackend`, defined here: the reference
+  implementation, looping the replicas one by one through the ordinary
+  :class:`~repro.rounds.engine.RoundEngine` /
+  :class:`~repro.rounds.engine.OracleTransport` path.  Every other backend
+  is specified by bit-identity against it.
+* ``batch`` -- :class:`repro.batch.backends.BatchBackend`: runs all R
+  replicas in lockstep with per-process estimates as ``(R, n)`` numpy
+  arrays and heard-of sets as ``(R, ceil(n/64))`` uint64 mask arrays,
+  falling back to the scalar loop per cell whenever vectorisation cannot
+  engage (no numpy, no batched kernel for the algorithm, unencodable
+  values).
+
+The *contract* between backends is replica determinism: for every seed in
+the batch, a backend must produce exactly the decisions, decision rounds,
+predicate reports and round fingerprints the scalar reference produces for
+the single run with that seed.  Fingerprints (:class:`ReplicaFingerprint`)
+exist so tests can pin that contract round by round, not just on final
+decisions; they are opt-in because computing them costs per-round Python
+work that the batch hot path otherwise avoids.
+
+This module deliberately depends on nothing above :mod:`repro.rounds`: the
+algorithm, oracle and monitor are structural, and the registry resolves the
+``batch`` backend by a lazy import so the import direction stays
+``batch -> rounds``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+from .bitmask import full_mask, iter_bits
+from .engine import OracleTransport, RoundAlgorithm, RoundEngine
+from .record import ProcessId, Round, RoundRecord
+
+#: The backend name meaning "the fastest backend that keeps the contract":
+#: resolves to ``batch`` (which itself degrades to the scalar loop per cell
+#: when vectorisation cannot engage).
+AUTO_BACKEND = "auto"
+
+
+@dataclass(frozen=True)
+class ReplicaTask:
+    """One replica of a batch: a fully built lockstep run for one seed.
+
+    *algorithm* and *oracle* must be freshly constructed per replica (they
+    may be stateful); building them from the seed is the caller's job, which
+    keeps the backend layer free of scenario knowledge.
+    """
+
+    seed: int
+    algorithm: RoundAlgorithm
+    oracle: Any
+    initial_values: Sequence[Any]
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """A declarative description of the predicate monitors a batch wants.
+
+    The scalar backend runs monitors through the structural
+    ``monitor_factory`` observer; vectorised backends cannot introspect an
+    arbitrary observer, so callers that want vectorised monitoring also
+    attach this data-only spec (predicate names as accepted by
+    :func:`repro.predicates.build_monitor`, the Pi0 scope as a bitmask, and
+    the optional stop-after-held policy).  A batch carrying a factory but no
+    spec simply runs on the scalar loop.
+    """
+
+    predicates: Tuple[str, ...]
+    pi0_mask: Optional[int] = None
+    stop_after_held: Optional[int] = None
+
+
+@dataclass
+class ReplicaBatch:
+    """R seeded replicas of one oracle-driven scenario, as one unit of work.
+
+    *scope_mask* is the set of processes whose decisions end a replica
+    (``None`` means all of Pi); *run_full_horizon* keeps executing rounds
+    after the scope decided (monitored runs measuring first-hold rounds).
+    *monitor_factory* builds one fresh observer per replica -- anything with
+    an ``on_record(record)`` hook, a ``stop_requested`` flag and a
+    ``reports_json()`` method (a :class:`repro.predicates.MonitorBank`
+    fits); the batch backend pairs it with its vectorised monitor kernels
+    instead of calling it per record.
+    """
+
+    n: int
+    tasks: List[ReplicaTask]
+    max_rounds: int
+    scope_mask: Optional[int] = None
+    run_full_horizon: bool = False
+    monitor_factory: Optional[Callable[[], Any]] = None
+    monitor_spec: Optional[MonitorSpec] = None
+    fingerprints: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError(f"number of processes must be positive, got {self.n}")
+        if self.max_rounds <= 0:
+            raise ValueError(f"max_rounds must be positive, got {self.max_rounds}")
+        if not self.tasks:
+            raise ValueError("a replica batch needs at least one task")
+
+    @property
+    def replicas(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def effective_scope_mask(self) -> int:
+        return full_mask(self.n) if self.scope_mask is None else self.scope_mask
+
+
+@dataclass(frozen=True)
+class ReplicaOutcome:
+    """What one replica produced: the trace-free summary of its run."""
+
+    seed: int
+    decisions: Dict[ProcessId, Any]
+    decision_rounds: Dict[ProcessId, Round]
+    rounds_executed: int
+    messages_sent: int
+    messages_delivered: int
+    stopped_early: bool = False
+    predicate_reports: Optional[Dict[str, Dict[str, Any]]] = None
+    fingerprint: Optional[str] = None
+
+    def first_decision_round(self) -> Optional[Round]:
+        return min(self.decision_rounds.values()) if self.decision_rounds else None
+
+    def last_decision_round(self) -> Optional[Round]:
+        return max(self.decision_rounds.values()) if self.decision_rounds else None
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """A strategy for executing a :class:`ReplicaBatch`.
+
+    ``run`` returns one outcome per task, in task order.  Backends must be
+    bit-identical to :class:`ScalarBackend` per seed: decisions, decision
+    rounds, predicate reports and (when enabled) round fingerprints.
+    """
+
+    name: str
+
+    def run(self, batch: ReplicaBatch) -> List[ReplicaOutcome]: ...
+
+
+class ReplicaFingerprint:
+    """A streaming digest of one replica's rounds, identical across backends.
+
+    Per executed round the digest consumes the heard-of masks, the
+    post-transition estimates (``repr`` of each state's ``x`` attribute --
+    every shipped algorithm exposes one) and the decisions that fired; the
+    final digest also covers the decision table and message accounting.  Any
+    divergence between two backends therefore shows up as a fingerprint
+    mismatch in the round where it happened.
+    """
+
+    __slots__ = ("_hash",)
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+
+    def observe_round(
+        self,
+        round: Round,
+        masks: Sequence[int],
+        estimates: Sequence[str],
+        newly_decided: Sequence[Tuple[ProcessId, str]],
+    ) -> None:
+        payload = (round, tuple(masks), tuple(estimates), tuple(newly_decided))
+        self._hash.update(repr(payload).encode("utf-8"))
+
+    def finish(self, outcome_fields: Tuple[Any, ...]) -> str:
+        self._hash.update(repr(outcome_fields).encode("utf-8"))
+        return self._hash.hexdigest()
+
+
+def finish_fingerprint(
+    fingerprint: Optional[ReplicaFingerprint],
+    decisions: Dict[ProcessId, Any],
+    decision_rounds: Dict[ProcessId, Round],
+    rounds_executed: int,
+    messages_sent: int,
+    messages_delivered: int,
+) -> Optional[str]:
+    """Close a fingerprint over the outcome summary (shared by all backends)."""
+    if fingerprint is None:
+        return None
+    return fingerprint.finish(
+        (
+            tuple(sorted((p, repr(v)) for p, v in decisions.items())),
+            tuple(sorted(decision_rounds.items())),
+            rounds_executed,
+            messages_sent,
+            messages_delivered,
+        )
+    )
+
+
+class _TallySink:
+    """The minimal trace sink of the scalar reference loop.
+
+    Buffers the records of the current round (for decisions, estimates and
+    fingerprints) instead of accumulating a full trace: backends return
+    trace-free outcomes.
+    """
+
+    __slots__ = ("messages_sent", "messages_delivered", "round_records")
+
+    def __init__(self) -> None:
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.round_records: List[RoundRecord] = []
+
+    def record_round_result(self, record: RoundRecord) -> None:
+        self.round_records.append(record)
+
+    def record_decision(
+        self, process: ProcessId, value: Any, round: Round, time: float
+    ) -> None:  # decisions are read off the buffered records
+        pass
+
+
+class ScalarBackend:
+    """The reference backend: replicas loop one by one through the RoundEngine.
+
+    This is exactly the lockstep path every scalar scenario takes
+    (:class:`~repro.core.machine.HOMachine` is the same engine with a full
+    trace sink), re-expressed over :class:`ReplicaBatch`: run rounds until
+    every process in scope decided (or the horizon / an observer stop), with
+    each replica's oracle and rng untouched by its siblings.
+    """
+
+    name = "scalar"
+
+    def run(self, batch: ReplicaBatch) -> List[ReplicaOutcome]:
+        return [self._run_replica(batch, task) for task in batch.tasks]
+
+    def _run_replica(self, batch: ReplicaBatch, task: ReplicaTask) -> ReplicaOutcome:
+        n = batch.n
+        algorithm = task.algorithm
+        if algorithm.n != n:
+            raise ValueError(f"algorithm is sized for n={algorithm.n}, batch has n={n}")
+        scope = tuple(iter_bits(batch.effective_scope_mask))
+        sink = _TallySink()
+        monitor = batch.monitor_factory() if batch.monitor_factory is not None else None
+        observers = (monitor,) if monitor is not None else ()
+        engine = RoundEngine(algorithm, OracleTransport(task.oracle, n), sink, observers)
+        states: Dict[ProcessId, Any] = {
+            p: algorithm.initial_state(p, task.initial_values[p]) for p in range(n)
+        }
+        fingerprint = ReplicaFingerprint() if batch.fingerprints else None
+        decisions: Dict[ProcessId, Any] = {}
+        decision_rounds: Dict[ProcessId, Round] = {}
+
+        round = 0
+        while round < batch.max_rounds:
+            if engine.stop_requested:
+                break
+            if not batch.run_full_horizon and all(p in decisions for p in scope):
+                break
+            round += 1
+            sink.round_records.clear()
+            engine.execute_round(round, states)
+            newly_decided: List[Tuple[ProcessId, str]] = []
+            for record in sink.round_records:
+                if record.decision is not None and record.process not in decisions:
+                    decisions[record.process] = record.decision
+                    decision_rounds[record.process] = round
+                    newly_decided.append((record.process, repr(record.decision)))
+            if fingerprint is not None:
+                fingerprint.observe_round(
+                    round,
+                    [record.ho_mask for record in sink.round_records],
+                    [repr(getattr(record.state_after, "x", None)) for record in sink.round_records],
+                    newly_decided,
+                )
+
+        stopped_early = bool(getattr(monitor, "stop_requested", False))
+        reports = monitor.reports_json() if monitor is not None else None
+        return ReplicaOutcome(
+            seed=task.seed,
+            decisions=decisions,
+            decision_rounds=decision_rounds,
+            rounds_executed=round,
+            messages_sent=sink.messages_sent,
+            messages_delivered=sink.messages_delivered,
+            stopped_early=stopped_early,
+            predicate_reports=reports,
+            fingerprint=finish_fingerprint(
+                fingerprint,
+                decisions,
+                decision_rounds,
+                round,
+                sink.messages_sent,
+                sink.messages_delivered,
+            ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# the backend registry
+# --------------------------------------------------------------------------- #
+
+_BACKENDS: Dict[str, ExecutionBackend] = {}
+
+
+def register_backend(backend: ExecutionBackend) -> ExecutionBackend:
+    """Register *backend* under its ``name`` (later registrations win)."""
+    _BACKENDS[backend.name] = backend
+    return backend
+
+
+def backend_names() -> List[str]:
+    """The registered backend names plus the ``auto`` alias."""
+    _ensure_populated()
+    return sorted(_BACKENDS) + [AUTO_BACKEND]
+
+
+def get_backend(name: str) -> ExecutionBackend:
+    """Resolve a backend by name (``auto`` means the batch backend).
+
+    The ``batch`` backend registers itself when :mod:`repro.batch` is
+    imported; resolution triggers that import lazily so that
+    ``repro.rounds`` itself never depends upward.
+    """
+    _ensure_populated()
+    key = "batch" if name == AUTO_BACKEND else name
+    try:
+        return _BACKENDS[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown execution backend {name!r}; known: {backend_names()}"
+        ) from None
+
+
+def _ensure_populated() -> None:
+    if "batch" not in _BACKENDS:
+        import repro.batch  # noqa: F401  (registers the batch backend)
+
+
+register_backend(ScalarBackend())
+
+
+__all__ = [
+    "AUTO_BACKEND",
+    "MonitorSpec",
+    "ReplicaTask",
+    "ReplicaBatch",
+    "ReplicaOutcome",
+    "ReplicaFingerprint",
+    "finish_fingerprint",
+    "ExecutionBackend",
+    "ScalarBackend",
+    "register_backend",
+    "backend_names",
+    "get_backend",
+]

@@ -12,7 +12,7 @@ these helpers convert between the two.
 from __future__ import annotations
 
 from collections.abc import Mapping
-from typing import Any, FrozenSet, Iterable, Iterator, Sequence
+from typing import Any, FrozenSet, Iterable, Iterator, Sequence, Tuple
 
 try:  # Python >= 3.10
     _POPCOUNT = int.bit_count
@@ -64,6 +64,52 @@ def mask_issubset(inner: int, outer: int) -> bool:
     return inner & ~outer == 0
 
 
+# --------------------------------------------------------------------------- #
+# uint64 word spill: the boundary between Python int masks and array backends
+# --------------------------------------------------------------------------- #
+
+#: Bits per mask word in the array representation used by the batch backends
+#: (:mod:`repro.batch`): heard-of sets travel as ``ceil(n / 64)`` uint64 words
+#: per process, so word ``w`` holds processes ``64*w .. 64*w + 63``.
+WORD_BITS = 64
+
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def word_count(n: int) -> int:
+    """How many uint64 words an *n*-process mask spills into (``ceil(n/64)``)."""
+    if n <= 0:
+        raise ValueError(f"number of processes must be positive, got {n}")
+    return (n + WORD_BITS - 1) // WORD_BITS
+
+
+def mask_to_words(mask: int, n: int) -> Tuple[int, ...]:
+    """Spill an arbitrary-width Python int mask into ``word_count(n)`` uint64 words.
+
+    Word ``w`` holds bits ``64*w .. 64*w + 63`` of *mask* (little-endian word
+    order), matching the ``(R, ceil(n/64))`` layout of the batch mask arrays.
+    Bits at or above *n* must be clear -- the batch boundary never smuggles
+    out-of-range processes.
+    """
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    if mask >> n:
+        raise ValueError(f"mask {bin(mask)} has bits set at or above n={n}")
+    return tuple(
+        (mask >> (WORD_BITS * w)) & _WORD_MASK for w in range(word_count(n))
+    )
+
+
+def words_to_mask(words: Iterable[int]) -> int:
+    """Reassemble a Python int mask from its little-endian uint64 word spill."""
+    mask = 0
+    for w, word in enumerate(words):
+        if not 0 <= word <= _WORD_MASK:
+            raise ValueError(f"word {w} out of uint64 range: {word}")
+        mask |= int(word) << (WORD_BITS * w)
+    return mask
+
+
 class MaskMapping(Mapping):
     """A read-only ``{process: payload}`` view selected by a bitmask.
 
@@ -110,5 +156,9 @@ __all__ = [
     "iter_bits",
     "mask_contains",
     "mask_issubset",
+    "WORD_BITS",
+    "word_count",
+    "mask_to_words",
+    "words_to_mask",
     "MaskMapping",
 ]

@@ -29,7 +29,7 @@ from typing import Dict, Optional, Sequence
 
 from ..predicates import MONITOR_NAMES, canonical_predicate_name
 from .registry import REGISTRY
-from .sweep import JsonlSink, _resolve_workers, build_grid, run_sweep
+from .sweep import BACKEND_CHOICES, JsonlSink, _resolve_workers, build_grid, run_sweep
 
 
 def _parse_params(entries: Optional[Sequence[str]]) -> Dict[str, object]:
@@ -104,6 +104,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "for K consecutive rounds (requires --predicates)",
     )
     parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        metavar="R",
+        help="batch each grid cell over R consecutive seeds (seed .. seed+R-1), "
+        "scheduled as one replica batch instead of R independent runs; records "
+        "then carry per-replica outcomes and per-cell aggregates",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_CHOICES,
+        default="auto",
+        help="execution backend for batched cells: 'auto'/'batch' = the "
+        "vectorized lockstep-replica engine (numpy when available, with an "
+        "automatic per-cell scalar fallback), 'scalar' = the reference loop "
+        "(default: auto; only meaningful with --replicas)",
+    )
+    parser.add_argument(
         "--workers",
         type=int,
         default=1,
@@ -137,9 +155,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list:
         monitorable = set(REGISTRY.monitorable_scenario_names())
+        batchable = set(REGISTRY.batchable_scenario_names())
         print("scenarios:")
         for name in REGISTRY.scenario_names():
-            suffix = "  [monitorable]" if name in monitorable else ""
+            tags = [tag for tag, hit in (("monitorable", name in monitorable),
+                                         ("batchable", name in batchable)) if hit]
+            suffix = f"  [{', '.join(tags)}]" if tags else ""
             print(f"  {name}{suffix}")
         print("fault models:")
         for name in REGISTRY.fault_model_names():
@@ -177,6 +198,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    if args.replicas is not None and args.replicas < 1:
+        print(f"error: --replicas must be at least 1, got {args.replicas}", file=sys.stderr)
+        return 2
+
     if args.stop_after_held is not None and not args.predicates:
         print("error: --stop-after-held requires --predicates", file=sys.stderr)
         return 2
@@ -211,10 +236,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sizes = args.ns if args.ns else [args.n]
     specs = build_grid(scenarios, args.fault_models, args.seeds, ns=sizes, **params)
     workers = _resolve_workers(args.workers, len(specs))
+    batched = (
+        f" x {args.replicas} replica(s) [{args.backend} backend]"
+        if args.replicas is not None
+        else ""
+    )
     print(
         f"sweep: {len(scenarios)} scenario(s) x {len(args.fault_models)} fault "
-        f"model(s) x {len(sizes)} size(s) x {len(args.seeds)} seed(s) = "
-        f"{len(specs)} runs ({workers} worker(s))"
+        f"model(s) x {len(sizes)} size(s) x {len(args.seeds)} base seed(s)"
+        f"{batched} = {len(specs)} cell(s) ({workers} worker(s))"
     )
 
     on_record = None
@@ -236,6 +266,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         on_record=on_record,
         sinks=sinks,
         resume_from=args.resume_from,
+        replicas=args.replicas,
+        backend=args.backend,
     )
 
     print()

@@ -22,7 +22,7 @@ processes populate it by importing :mod:`repro.workloads`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
 
 class TaskRegistry:
@@ -33,20 +33,36 @@ class TaskRegistry:
         self._measurements: Dict[str, Callable] = {}
         self._fault_models: Dict[str, None] = {}
         self._monitorable: Dict[str, bool] = {}
+        self._batch_runners: Dict[str, Callable] = {}
         self._populated = False
 
     # -- registration -------------------------------------------------- #
 
-    def register_scenario(self, name: str, fn: Callable, *, monitorable: bool = False) -> Callable:
+    def register_scenario(
+        self,
+        name: str,
+        fn: Callable,
+        *,
+        monitorable: bool = False,
+        batch_runner: Optional[Callable] = None,
+    ) -> Callable:
         """Register scenario *name*; returns *fn* so it can be used as a decorator.
 
         *monitorable* declares that the scenario accepts the
         ``predicates`` / ``stop_after_held`` keyword arguments and attaches
         streaming predicate monitors (DES-based baselines have no heard-of
         collection, so the CLI refuses ``--predicates`` for them up front).
+
+        *batch_runner* declares the scenario batchable: a callable
+        ``fn(fault_model, n=..., seeds=[...], backend=..., **params)``
+        returning one flat per-replica outcome dict per seed, bit-identical
+        to running the scalar scenario once per seed.  The sweep executor
+        routes ``replicas=`` cells through it instead of R scalar runs.
         """
         self._scenarios[name] = fn
         self._monitorable[name] = monitorable
+        if batch_runner is not None:
+            self._batch_runners[name] = batch_runner
         return fn
 
     def register_measurement(self, name: str, fn: Callable) -> Callable:
@@ -101,6 +117,16 @@ class TaskRegistry:
         """The scenarios that accept ``predicates`` / ``stop_after_held``."""
         self._ensure_populated()
         return sorted(name for name, flag in self._monitorable.items() if flag)
+
+    def batch_runner(self, name: str) -> Optional[Callable]:
+        """The batch runner of scenario *name*, or None when not batchable."""
+        self._ensure_populated()
+        return self._batch_runners.get(name)
+
+    def batchable_scenario_names(self) -> List[str]:
+        """The scenarios with a registered batch runner (vectorisable cells)."""
+        self._ensure_populated()
+        return sorted(self._batch_runners)
 
     def _ensure_populated(self) -> None:
         """Import the workload modules whose import side-effect registers tasks.

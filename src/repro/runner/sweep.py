@@ -56,13 +56,15 @@ from typing import (
 
 from .registry import REGISTRY
 
-#: JSON schema tag of the sweep summary (v3: per-run ``predicates`` carrying
-#: the streaming monitor reports of monitored scenarios, plus per-group
-#: predicate aggregates; v2 added per-run ``params``, per-group ``n``,
-#: error-free ``solve_rate`` denominators and the ``resumed`` count).
-#: v2 JSONL files resume into v3 sweeps unchanged -- the cell identity does
-#: not include the predicate reports.
-SCHEMA = "repro-sweep/3"
+#: JSON schema tag of the sweep summary (v4: batched cells -- a per-run
+#: ``replicas`` payload carrying per-replica outcomes and per-cell
+#: aggregates, plus per-group across-replica dispersion; v3 added per-run
+#: ``predicates`` and per-group predicate aggregates; v2 per-run ``params``,
+#: per-group ``n``, error-free ``solve_rate`` denominators and ``resumed``).
+#: v2/v3 JSONL files resume into v4 sweeps unchanged -- the cell identity of
+#: non-batched cells is byte-identical, and batched cells extend it with the
+#: replica count only.
+SCHEMA = "repro-sweep/4"
 
 
 def spec_key(
@@ -71,15 +73,23 @@ def spec_key(
     n: int,
     seed: int,
     params: Iterable[Tuple[str, Any]] = (),
+    replicas: Optional[int] = None,
 ) -> str:
     """The canonical identity of one grid cell, as a compact JSON string.
 
     Includes the extra params (cells differing only in params are distinct
     cells) and is stable across a JSON round trip, so records reloaded from
-    a JSONL file match the specs that produced them.
+    a JSONL file match the specs that produced them.  Batched cells append
+    their replica count (a batched cell and a single run at the same base
+    seed are different experiments); the execution backend is deliberately
+    *not* part of the identity -- backends are bit-identical, so a resumed
+    grid may finish on a different backend than it started on.
     """
+    identity: List[Any] = [scenario, fault_model, int(n), int(seed), dict(params)]
+    if replicas is not None:
+        identity.append(int(replicas))
     return json.dumps(
-        [scenario, fault_model, int(n), int(seed), dict(params)],
+        identity,
         sort_keys=True,
         separators=(",", ":"),
         default=str,
@@ -88,7 +98,14 @@ def spec_key(
 
 @dataclass(frozen=True)
 class RunSpec:
-    """One cell of a sweep grid: a scenario under one fault model and seed."""
+    """One cell of a sweep grid: a scenario under one fault model and seed.
+
+    With *replicas* set, the cell covers the R consecutive seeds
+    ``seed .. seed + replicas - 1`` and is executed as one replica batch
+    (through the scenario's registered batch runner on the requested
+    execution *backend*, or as R scalar runs when none is registered or
+    ``backend="scalar"``); the record then carries per-replica outcomes.
+    """
 
     scenario: str
     fault_model: str
@@ -97,6 +114,10 @@ class RunSpec:
     #: extra keyword arguments for the scenario runner, stored as a sorted
     #: tuple of pairs so the spec stays hashable and picklable.
     params: Tuple[Tuple[str, Any], ...] = ()
+    #: number of replicas of a batched cell; None = a plain single run.
+    replicas: Optional[int] = None
+    #: execution backend of a batched cell: "auto", "batch" or "scalar".
+    backend: str = "auto"
 
     @classmethod
     def make(
@@ -121,7 +142,10 @@ class RunSpec:
     @property
     def cell_key(self) -> str:
         """The resume-matching identity of this cell (includes params)."""
-        return spec_key(self.scenario, self.fault_model, self.n, self.seed, self.params)
+        return spec_key(
+            self.scenario, self.fault_model, self.n, self.seed, self.params,
+            replicas=self.replicas,
+        )
 
 
 @dataclass(frozen=True)
@@ -155,6 +179,13 @@ class RunRecord:
     #: run monitored nothing.  Reports are tiny, so -- unlike traces --
     #: they ride the wire record across worker pools and into JSONL/CSV.
     predicates: Optional[Dict[str, Any]] = None
+    #: batched-cell payload: ``{"count", "backend", "outcomes", "aggregates"}``
+    #: with one flat outcome dict per replica (seeds ``seed .. seed+count-1``)
+    #: and the per-cell aggregates; None for plain single-run cells.  The
+    #: record's top-level fields then summarise the whole cell (solved/safe/
+    #: terminated are conjunctions over non-errored replicas, counters are
+    #: sums, decision times the min/max across replicas).
+    replicas: Optional[Dict[str, Any]] = None
     #: the full ScenarioResult (verdict + metrics); carried for in-process
     #: consumers such as ``compare_stacks``, excluded from the JSON summary
     #: and stripped before a parallel worker returns unless the sweep was
@@ -164,7 +195,11 @@ class RunRecord:
     @property
     def cell_key(self) -> str:
         """The resume-matching identity of the cell this record came from."""
-        return spec_key(self.scenario, self.fault_model, self.n, self.seed, self.params)
+        count = self.replicas.get("count") if self.replicas else None
+        return spec_key(
+            self.scenario, self.fault_model, self.n, self.seed, self.params,
+            replicas=count,
+        )
 
     def to_json_dict(self) -> Dict[str, Any]:
         """The per-run entry of the JSON summary (wall time included, result not)."""
@@ -185,6 +220,7 @@ class RunRecord:
             "wall_seconds": round(self.wall_seconds, 6),
             "error": self.error,
             "predicates": self.predicates,
+            "replicas": self.replicas,
         }
 
     @classmethod
@@ -208,6 +244,7 @@ class RunRecord:
             params=tuple(sorted(params.items())),
             error=payload.get("error"),
             predicates=payload.get("predicates"),
+            replicas=payload.get("replicas"),
         )
 
     def row(self) -> str:
@@ -222,6 +259,13 @@ class RunRecord:
             f"terminated={'yes' if self.terminated else 'no '} "
             f"latency={latency} messages={self.messages_sent}"
         )
+        if self.replicas and not self.error:
+            aggregates = self.replicas.get("aggregates") or {}
+            rate = aggregates.get("solve_rate")
+            status += (
+                f" replicas={self.replicas.get('count')}"
+                f" solve_rate={'-' if rate is None else format(rate, '.2f')}"
+            )
         return (
             f"{self.scenario:<16} {self.fault_model:<15} n={self.n:<3} "
             f"seed={self.seed:<3} {status}"
@@ -229,7 +273,14 @@ class RunRecord:
 
 
 def execute_run(spec: RunSpec) -> RunRecord:
-    """Run one spec and flatten its outcome (top-level: picklable for workers)."""
+    """Run one spec and flatten its outcome (top-level: picklable for workers).
+
+    Batched specs (``spec.replicas``) execute the whole cell -- all R seeds
+    -- in one call, through the scenario's batch runner when one is
+    registered and the backend allows it, else as R scalar runs.
+    """
+    if spec.replicas is not None:
+        return _execute_batch_cell(spec)
     runner = REGISTRY.scenario(spec.scenario)
     started = time.perf_counter()
     try:
@@ -273,6 +324,169 @@ def execute_run(spec: RunSpec) -> RunRecord:
         params=spec.params,
         predicates=predicates,
         result=result,
+    )
+
+
+#: The flat per-replica outcome keys batched cells carry (a projection of
+#: the plain wire-record fields, minus the cell-level ones).
+REPLICA_OUTCOME_FIELDS = (
+    "seed",
+    "solved",
+    "safe",
+    "terminated",
+    "decided_processes",
+    "scope_size",
+    "first_decision_time",
+    "last_decision_time",
+    "messages_sent",
+    "error",
+    "predicates",
+)
+
+
+def _replica_outcome_from_record(record: RunRecord) -> Dict[str, Any]:
+    """Project a plain single-run record onto the per-replica outcome shape."""
+    payload = record.to_json_dict()
+    return {key: payload[key] for key in REPLICA_OUTCOME_FIELDS}
+
+
+def _mean_std_min_max(values: Sequence[float]) -> Dict[str, Optional[float]]:
+    """Dispersion summary of a sample (population std; None-safe on empty)."""
+    if not values:
+        return {"mean": None, "std": None, "min": None, "max": None}
+    mean = sum(values) / len(values)
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    return {
+        "mean": mean,
+        "std": variance ** 0.5,
+        "min": min(values),
+        "max": max(values),
+    }
+
+
+def _cell_aggregates(outcomes: Sequence[Mapping[str, Any]]) -> Dict[str, Any]:
+    """Per-cell (across-replica) aggregates of one batched cell."""
+    ok = [outcome for outcome in outcomes if not outcome.get("error")]
+    solved = sum(1 for outcome in ok if outcome["solved"])
+    latencies = [
+        outcome["last_decision_time"]
+        for outcome in ok
+        if outcome["last_decision_time"] is not None
+    ]
+    aggregates: Dict[str, Any] = {
+        "replicas": len(outcomes),
+        "errors": len(outcomes) - len(ok),
+        "solved": solved,
+        "solve_rate": (solved / len(ok)) if ok else None,
+        "all_safe": all(outcome["safe"] for outcome in ok) if ok else None,
+        "last_decision_time": _mean_std_min_max(latencies),
+    }
+    first_holds: Dict[str, List[int]] = {}
+    for outcome in ok:
+        for name, report in (outcome.get("predicates") or {}).items():
+            value = report.get("first_hold_round")
+            if value is not None:
+                first_holds.setdefault(name, []).append(value)
+    if first_holds:
+        aggregates["first_hold_round"] = {
+            name: _mean_std_min_max(values) for name, values in sorted(first_holds.items())
+        }
+    return aggregates
+
+
+def _effective_backend(requested: str) -> str:
+    """What actually executed a batched cell, for the record's diagnostics.
+
+    The backend registry holds one backend instance per process, and the
+    batch backend records per ``run`` whether vectorisation engaged
+    (``last_fallback_reason``); reading it right after the batch runner
+    returned turns the requested name into the effective one, e.g.
+    ``"batch"`` or ``"batch:scalar-fallback (numpy unavailable ...)"``.
+    Diagnostic only -- outcomes are backend-independent by contract, so the
+    field is deliberately outside the cell identity.
+    """
+    try:
+        from ..rounds.backend import get_backend
+
+        backend = get_backend(requested)
+    except Exception:  # noqa: BLE001 - diagnostics must never fail a cell
+        return requested
+    reason = getattr(backend, "last_fallback_reason", None)
+    if reason is None:
+        return backend.name
+    return f"{backend.name}:scalar-fallback ({reason})"
+
+
+def _execute_batch_cell(spec: RunSpec) -> RunRecord:
+    """Execute one batched cell: R replica seeds as one unit of work.
+
+    Routes through the scenario's registered batch runner (one vectorised
+    batch on the requested backend) unless ``backend="scalar"`` or no
+    runner exists -- then the cell is R scalar ``execute_run`` calls, which
+    is the reference the batch path is pinned against.  Either way the cell
+    yields a single wire record whose ``replicas`` payload carries the
+    per-replica outcomes and the per-cell aggregates.
+    """
+    count = spec.replicas or 1
+    seeds = list(range(spec.seed, spec.seed + count))
+    batch_runner = (
+        REGISTRY.batch_runner(spec.scenario) if spec.backend != "scalar" else None
+    )
+    started = time.perf_counter()
+    error: Optional[str] = None
+    outcomes: List[Dict[str, Any]] = []
+    if batch_runner is not None:
+        try:
+            outcomes = list(
+                batch_runner(
+                    spec.fault_model, n=spec.n, seeds=seeds, backend=spec.backend,
+                    **spec.kwargs,
+                )
+            )
+            # Only a completed run can tell whether vectorisation engaged;
+            # an exception may have fired before any backend executed, so
+            # the label then stays the requested name.
+            used_backend = _effective_backend(spec.backend)
+        except Exception as exc:  # noqa: BLE001 - a failed cell must not kill the sweep
+            error = f"{type(exc).__name__}: {exc}"
+            used_backend = spec.backend
+    else:
+        used_backend = "scalar-loop"
+        for seed in seeds:
+            record = execute_run(replace(spec, seed=seed, replicas=None))
+            outcomes.append(_replica_outcome_from_record(record))
+    wall = time.perf_counter() - started
+
+    ok = [outcome for outcome in outcomes if not outcome.get("error")]
+    replicas_payload = {
+        "count": count,
+        "backend": used_backend,
+        "outcomes": outcomes,
+        "aggregates": _cell_aggregates(outcomes) if outcomes else {},
+    }
+    if error is None and outcomes and not ok:
+        # Every replica errored: surface it at cell level so a resumed grid
+        # retries the whole cell (partial replica errors stay cell-internal).
+        error = "all replicas errored: " + str(outcomes[0].get("error"))
+    first_times = [o["first_decision_time"] for o in ok if o["first_decision_time"] is not None]
+    last_times = [o["last_decision_time"] for o in ok if o["last_decision_time"] is not None]
+    return RunRecord(
+        scenario=spec.scenario,
+        fault_model=spec.fault_model,
+        seed=spec.seed,
+        n=spec.n,
+        solved=bool(ok) and all(o["solved"] for o in ok),
+        safe=bool(ok) and all(o["safe"] for o in ok),
+        terminated=bool(ok) and all(o["terminated"] for o in ok),
+        decided_processes=sum(o["decided_processes"] for o in ok),
+        scope_size=max((o["scope_size"] for o in ok), default=0),
+        first_decision_time=min(first_times) if first_times else None,
+        last_decision_time=max(last_times) if last_times else None,
+        messages_sent=sum(o["messages_sent"] for o in ok),
+        wall_seconds=wall,
+        params=spec.params,
+        error=error,
+        replicas=replicas_payload,
     )
 
 
@@ -353,13 +567,14 @@ class JsonlSink:
 
 
 def _csv_row(record: RunRecord) -> Dict[str, Any]:
-    """A CSV-safe projection of one record (params/predicates JSON-encoded in place)."""
+    """A CSV-safe projection of one record (params/predicates/replicas JSON-encoded)."""
     row = record.to_json_dict()
     row["params"] = json.dumps(row["params"], sort_keys=True, default=str)
-    row["predicates"] = (
-        "" if row["predicates"] is None
-        else json.dumps(row["predicates"], sort_keys=True, default=str)
-    )
+    for key in ("predicates", "replicas"):
+        row[key] = (
+            "" if row[key] is None
+            else json.dumps(row[key], sort_keys=True, default=str)
+        )
     return row
 
 
@@ -433,41 +648,81 @@ def load_jsonl_records(path: str) -> List[RunRecord]:
     return list(records.values())
 
 
-def _aggregate_predicates(records: Sequence[RunRecord]) -> Dict[str, Dict[str, Any]]:
-    """Per-predicate aggregates over the monitored runs of one group.
+def _replica_entries(record: RunRecord) -> List[Mapping[str, Any]]:
+    """The per-replica outcome views of a record (a plain record is one replica).
 
-    Only non-errored runs carrying reports contribute; like every other
-    aggregate, the numbers depend solely on deterministic run outcomes, so
-    resumed grids reproduce them byte-identically.
+    Group aggregates are computed at *replica* granularity so that batched
+    and unbatched sweeps of the same seeds aggregate identically.  A batched
+    cell that failed before producing outcomes (its batch runner raised)
+    counts as one errored entry per replica, so the error is as visible in
+    the aggregates as R failed scalar runs would be.
     """
-    reported = [r for r in records if r.predicates]
+    if record.replicas:
+        outcomes = list(record.replicas.get("outcomes") or ())
+        if outcomes:
+            return outcomes
+        count = int(record.replicas.get("count") or 1)
+        return [
+            {
+                "seed": record.seed + i,
+                "solved": False,
+                "safe": False,
+                "terminated": False,
+                "decided_processes": 0,
+                "scope_size": 0,
+                "first_decision_time": None,
+                "last_decision_time": None,
+                "messages_sent": 0,
+                "error": record.error or "batched cell produced no outcomes",
+                "predicates": None,
+            }
+            for i in range(count)
+        ]
+    return [_replica_outcome_from_record(record)]
+
+
+def _aggregate_predicates(entries: Sequence[Mapping[str, Any]]) -> Dict[str, Dict[str, Any]]:
+    """Per-predicate aggregates over the monitored replicas of one group.
+
+    Only non-errored replicas carrying reports contribute; like every other
+    aggregate, the numbers depend solely on deterministic run outcomes, so
+    resumed grids reproduce them byte-identically.  Besides the means, the
+    first-hold rounds carry their across-replica dispersion (std/min/max),
+    so batched cells report spread, not just centre.
+    """
+    reported = [entry for entry in entries if entry.get("predicates")]
     if not reported:
         return {}
     summary: Dict[str, Dict[str, Any]] = {}
-    names = sorted({name for record in reported for name in record.predicates})
+    names = sorted({name for entry in reported for name in entry["predicates"]})
     for name in names:
-        entries = [record.predicates[name] for record in reported if name in record.predicates]
-        held = sum(1 for entry in entries if entry.get("holds"))
+        reports = [
+            entry["predicates"][name] for entry in reported if name in entry["predicates"]
+        ]
+        held = sum(1 for report in reports if report.get("holds"))
         first_holds = [
-            entry["first_hold_round"]
-            for entry in entries
-            if entry.get("first_hold_round") is not None
+            report["first_hold_round"]
+            for report in reports
+            if report.get("first_hold_round") is not None
         ]
         satisfactions = [
-            entry["satisfaction"] for entry in entries if entry.get("satisfaction") is not None
+            report["satisfaction"] for report in reports
+            if report.get("satisfaction") is not None
         ]
+        dispersion = _mean_std_min_max(first_holds)
         summary[name] = {
-            "runs": len(entries),
+            "runs": len(reports),
             "held": held,
-            "hold_rate": held / len(entries),
-            "mean_first_hold_round": (
-                sum(first_holds) / len(first_holds) if first_holds else None
-            ),
+            "hold_rate": held / len(reports),
+            "mean_first_hold_round": dispersion["mean"],
+            "std_first_hold_round": dispersion["std"],
+            "min_first_hold_round": dispersion["min"],
+            "max_first_hold_round": dispersion["max"],
             "mean_satisfaction": (
                 sum(satisfactions) / len(satisfactions) if satisfactions else None
             ),
             "max_longest_good_run": max(
-                (entry.get("longest_good_run", 0) for entry in entries), default=0
+                (report.get("longest_good_run", 0) for report in reports), default=0
             ),
         }
     return summary
@@ -521,11 +776,17 @@ class SweepResult:
         Wall-clock times are deliberately excluded: aggregates depend only on
         the (deterministic) simulation outcomes, so re-running the same grid
         -- serially, in parallel, or resumed from a partial JSONL -- yields
-        identical aggregates.  ``solve_rate`` is computed over non-errored
-        runs only (``None`` when every run errored): an infrastructure
-        failure must not deflate the scientific solve rate.  Group keys gain
-        an ``/n=<size>`` suffix exactly when the grid spans several system
-        sizes.
+        identical aggregates.  Aggregation happens at *replica* granularity:
+        a plain record is one replica, a batched cell contributes every
+        replica outcome it carries, so batched and unbatched sweeps of the
+        same seeds aggregate identically.  ``solve_rate`` is computed over
+        non-errored replicas only (``None`` when every one errored): an
+        infrastructure failure must not deflate the scientific solve rate.
+        Groups containing batched cells additionally report the
+        across-replica dispersion (std/min/max of per-cell solve rates and,
+        via the predicate aggregates, of first-hold rounds).  Group keys
+        gain an ``/n=<size>`` suffix exactly when the grid spans several
+        system sizes.
         """
         groups: Dict[Tuple[str, str, int], List[RunRecord]] = {}
         for record in self.records:
@@ -538,26 +799,48 @@ class SweepResult:
             group = sorted(
                 groups[(scenario, fault_model, n)], key=lambda r: (r.seed, r.cell_key)
             )
-            ok = [r for r in group if not r.error]
-            solved = sum(1 for r in ok if r.solved)
+            entries = [entry for record in group for entry in _replica_entries(record)]
+            ok = [entry for entry in entries if not entry.get("error")]
+            solved = sum(1 for entry in ok if entry["solved"])
             latencies = [
-                r.last_decision_time for r in group if r.last_decision_time is not None
+                entry["last_decision_time"]
+                for entry in entries
+                if entry["last_decision_time"] is not None
             ]
             name = f"{scenario}/{fault_model}" + (f"/n={n}" if multi_n else "")
             aggregates[name] = {
                 "runs": len(group),
                 "n": n,
-                "errors": len(group) - len(ok),
+                "errors": len(entries) - len(ok),
                 "solved": solved,
                 "solve_rate": (solved / len(ok)) if ok else None,
-                "all_safe": all(r.safe for r in ok) if ok else None,
+                "all_safe": all(entry["safe"] for entry in ok) if ok else None,
                 "mean_last_decision_time": (
                     sum(latencies) / len(latencies) if latencies else None
                 ),
                 "max_last_decision_time": max(latencies) if latencies else None,
-                "total_messages_sent": sum(r.messages_sent for r in group),
+                "total_messages_sent": sum(entry["messages_sent"] for entry in entries),
                 "seeds": [r.seed for r in group],
             }
+            if any(record.replicas for record in group):
+                # Per-cell solve rates (a plain record is a 0/1 cell), with
+                # their spread: batched groups report dispersion, not just
+                # the pooled mean.
+                cell_rates = []
+                for record in group:
+                    cell_ok = [
+                        entry for entry in _replica_entries(record)
+                        if not entry.get("error")
+                    ]
+                    if cell_ok:
+                        cell_rates.append(
+                            sum(1 for entry in cell_ok if entry["solved"]) / len(cell_ok)
+                        )
+                aggregates[name]["replicas"] = len(entries)
+                aggregates[name]["replica_dispersion"] = {
+                    "cells": len(group),
+                    "solve_rate": _mean_std_min_max(cell_rates),
+                }
             predicate_summary = _aggregate_predicates(ok)
             if predicate_summary:
                 aggregates[name]["predicates"] = predicate_summary
@@ -600,6 +883,7 @@ class SweepResult:
         "wall_seconds",
         "error",
         "predicates",
+        "replicas",
     )
 
     def write_csv(self, path: str) -> None:
@@ -622,9 +906,10 @@ class SweepResult:
         lines.append("-" * 78)
         for name, aggregate in self.aggregate().items():
             mean_latency = aggregate["mean_last_decision_time"]
+            total = aggregate.get("replicas", aggregate["runs"])
             lines.append(
                 f"{name:<32} runs={aggregate['runs']:<3} "
-                f"solved={aggregate['solved']}/{aggregate['runs']} "
+                f"solved={aggregate['solved']}/{total} "
                 f"all_safe={aggregate['all_safe']!s:<5} "
                 "mean_latency="
                 f"{'-' if mean_latency is None else format(mean_latency, '.1f')}"
@@ -675,6 +960,10 @@ def _resolve_workers(workers: Optional[int], jobs: int) -> int:
     return max(1, min(workers, jobs))
 
 
+#: Execution-backend names a sweep accepts for batched cells.
+BACKEND_CHOICES = ("auto", "batch", "scalar")
+
+
 def run_sweep(
     specs: Sequence[RunSpec],
     workers: Optional[int] = None,
@@ -682,6 +971,8 @@ def run_sweep(
     keep_results: bool = False,
     sinks: Sequence[RecordSink] = (),
     resume_from: Optional[str] = None,
+    replicas: Optional[int] = None,
+    backend: str = "auto",
 ) -> SweepResult:
     """Execute *specs*, optionally in parallel worker processes.
 
@@ -690,6 +981,15 @@ def run_sweep(
     wire record is pickled back -- the full ``ScenarioResult`` stays in the
     worker unless ``keep_results=True`` (inline runs always keep it, so
     in-process consumers are unaffected by the wire discipline).
+
+    ``replicas=R`` turns every spec into a *batched cell* covering the R
+    consecutive seeds ``spec.seed .. spec.seed + R - 1``, scheduled as one
+    unit of work instead of R independent runs: scenarios with a registered
+    batch runner execute the whole cell on the requested execution
+    *backend* (``auto``/``batch`` = the vectorised lockstep-replica engine
+    with its automatic scalar fallback; ``scalar`` = R reference runs), and
+    every cell's record carries the per-replica outcomes next to the cell
+    aggregates.  Specs that already carry ``replicas`` are left untouched.
 
     *on_record* is invoked and every sink in *sinks* written as each run's
     record streams back (in completion order); sinks are closed when the
@@ -703,7 +1003,17 @@ def run_sweep(
     order, so results are independent of worker scheduling and of how often
     the grid was killed and resumed.
     """
+    if backend not in BACKEND_CHOICES:
+        raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}")
     specs = list(specs)
+    if replicas is not None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be at least 1, got {replicas}")
+        specs = [
+            spec if spec.replicas is not None
+            else replace(spec, replicas=replicas, backend=backend)
+            for spec in specs
+        ]
     started = time.perf_counter()
 
     slots: List[Optional[RunRecord]] = [None] * len(specs)
@@ -799,6 +1109,8 @@ def run_measurement_sweep(
 
 __all__ = [
     "SCHEMA",
+    "BACKEND_CHOICES",
+    "REPLICA_OUTCOME_FIELDS",
     "RunSpec",
     "RunRecord",
     "SweepResult",

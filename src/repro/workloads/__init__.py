@@ -6,6 +6,11 @@ from .adversarial import (
     run_round_adversary,
     run_round_adversary_monitored,
 )
+from .batched import (
+    CLASSIC_ALGORITHMS,
+    run_classic,
+    run_classic_batch,
+)
 from .measure import (
     DEFAULT_BAD_BEHAVIOR,
     DEFAULT_BAD_NETWORK,
@@ -50,4 +55,7 @@ __all__ = [
     "DEFAULT_MONITORED_PREDICATES",
     "run_round_adversary",
     "run_round_adversary_monitored",
+    "CLASSIC_ALGORITHMS",
+    "run_classic",
+    "run_classic_batch",
 ]

@@ -1,0 +1,222 @@
+"""The batched environment layer and the uint64 array boundary."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._optional import have_numpy
+from repro.adversaries import (
+    BurstyLossOracle,
+    FaultFreeOracle,
+    IntersectOracle,
+    MobileOmissionOracle,
+    PartitionOracle,
+    RandomOmissionOracle,
+    ScriptedOracle,
+    SequenceOracle,
+    SilentRoundsOracle,
+    StaticCrashOracle,
+    UnionOracle,
+    WindowSwitchOracle,
+    vectorize_oracles,
+)
+from repro.adversaries.batch import BroadcastBatchOracle, IntersectBatchOracle, PerReplicaBatchOracle
+from repro.engine.rng import SeededRng
+
+pytestmark = pytest.mark.skipif(not have_numpy(), reason="numpy not available")
+
+
+class TestReplicaInvariance:
+    def test_classic_deterministic_oracles_are_invariant(self):
+        n = 5
+        for oracle in (
+            FaultFreeOracle(n),
+            StaticCrashOracle(n, {4: 2}),
+            PartitionOracle(n, [range(2), range(2, 5)]),
+            SilentRoundsOracle(n, [3]),
+            ScriptedOracle(n, {(1, 0): [0, 1]}),
+        ):
+            assert oracle.replica_invariant
+
+    def test_seeded_oracles_are_not(self):
+        n = 5
+        assert not RandomOmissionOracle(n, 0.1).replica_invariant
+        assert not MobileOmissionOracle(n, faults=1).replica_invariant
+        assert not BurstyLossOracle(n).replica_invariant
+
+    def test_combinators_propagate_invariance(self):
+        n = 4
+        det = StaticCrashOracle(n, {3: 2})
+        noisy = RandomOmissionOracle(n, 0.1)
+        assert IntersectOracle(n, det, FaultFreeOracle(n)).replica_invariant
+        assert not IntersectOracle(n, det, noisy).replica_invariant
+        assert not UnionOracle(n, noisy, det).replica_invariant
+        assert SequenceOracle(n, [(det, 3), (FaultFreeOracle(n), None)]).replica_invariant
+        assert not SequenceOracle(n, [(noisy, 3), (det, None)]).replica_invariant
+        assert WindowSwitchOracle(n, [det, FaultFreeOracle(n)], window=2).replica_invariant
+
+
+class TestVectorizeOracles:
+    def _masks_as_ints(self, words):
+        from repro.batch.arrays import int_masks_from_words
+
+        return [int_masks_from_words(row) for row in words]
+
+    def test_broadcast_for_invariant_oracles(self):
+        import numpy as np
+
+        n, replicas = 5, 3
+        oracles = [StaticCrashOracle(n, {4: 2}) for _ in range(replicas)]
+        batch = vectorize_oracles(oracles, replicas)
+        assert isinstance(batch, BroadcastBatchOracle)
+        active = np.ones(replicas, dtype=bool)
+        for round in (1, 2, 5):
+            rows = self._masks_as_ints(batch.round_masks(round, active))
+            expected = [oracles[0].ho_mask(round, p) for p in range(n)]
+            assert rows == [expected] * replicas
+
+    def test_per_replica_for_stateful_oracles(self):
+        import numpy as np
+
+        n, replicas = 6, 4
+        def fresh():
+            return [
+                RandomOmissionOracle(n, 0.4, rng=SeededRng(100 + i))
+                for i in range(replicas)
+            ]
+
+        batch = vectorize_oracles(fresh(), replicas)
+        assert isinstance(batch, PerReplicaBatchOracle)
+        reference = fresh()
+        active = np.ones(replicas, dtype=bool)
+        for round in (1, 2, 3):
+            rows = self._masks_as_ints(batch.round_masks(round, active))
+            for r in range(replicas):
+                assert rows[r] == [reference[r].ho_mask(round, p) for p in range(n)]
+
+    def test_heterogeneous_invariant_oracles_are_not_broadcast(self):
+        """Replica-invariant but replica-*varying* oracles must not collapse to replica 0's."""
+        import numpy as np
+
+        n, replicas = 4, 3
+        # Each replica crashes a different process: invariant per oracle,
+        # different across replicas -- broadcasting would be silently wrong.
+        oracles = [StaticCrashOracle(n, {r: 2}) for r in range(replicas)]
+        batch = vectorize_oracles(oracles, replicas)
+        assert isinstance(batch, PerReplicaBatchOracle)
+        rows = self._masks_as_ints(batch.round_masks(3, np.ones(replicas, dtype=bool)))
+        for r in range(replicas):
+            assert rows[r] == [oracles[r].ho_mask(3, p) for p in range(n)]
+
+    def test_identically_built_combinators_still_broadcast(self):
+        n, replicas = 4, 3
+        def build():
+            return SequenceOracle(
+                n, [(StaticCrashOracle(n, {3: 1}), 2), (FaultFreeOracle(n), None)]
+            )
+
+        batch = vectorize_oracles([build() for _ in range(replicas)], replicas)
+        assert isinstance(batch, BroadcastBatchOracle)
+
+    def test_inactive_replicas_are_not_queried(self):
+        import numpy as np
+
+        n, replicas = 4, 3
+
+        class Counting(FaultFreeOracle):
+            replica_invariant = False
+
+            def __init__(self, n):
+                super().__init__(n)
+                self.queries = 0
+
+            def ho_mask(self, round, process):
+                self.queries += 1
+                return super().ho_mask(round, process)
+
+        oracles = [Counting(n) for _ in range(replicas)]
+        batch = vectorize_oracles(oracles, replicas)
+        active = np.array([True, False, True])
+        batch.round_masks(1, active)
+        assert [o.queries for o in oracles] == [n, 0, n]
+
+    def test_mixed_intersect_decomposes_to_broadcast_plus_per_replica(self):
+        import numpy as np
+
+        n, replicas = 5, 3
+
+        def build(i):
+            return IntersectOracle(
+                n,
+                StaticCrashOracle(n, {n - 1: 2}),
+                RandomOmissionOracle(n, 0.4, rng=SeededRng(10 + i)),
+            )
+
+        batch = vectorize_oracles([build(i) for i in range(replicas)], replicas)
+        assert isinstance(batch, IntersectBatchOracle)
+        kinds = {type(c) for c in batch.components}
+        assert kinds == {BroadcastBatchOracle, PerReplicaBatchOracle}
+        reference = [build(i) for i in range(replicas)]
+        active = np.ones(replicas, dtype=bool)
+        for round in (1, 2, 3):
+            rows = self._masks_as_ints(batch.round_masks(round, active))
+            for r in range(replicas):
+                assert rows[r] == [reference[r].ho_mask(round, p) for p in range(n)]
+
+    def test_two_stateful_intersect_components_stay_per_replica(self):
+        # Two randomness-drawing components could share a stream; the
+        # decomposition must refuse and keep whole-oracle per-replica order.
+        n, replicas = 4, 2
+
+        def build(i):
+            rng = SeededRng(20 + i)
+            return IntersectOracle(
+                n,
+                RandomOmissionOracle(n, 0.2, rng=rng),
+                RandomOmissionOracle(n, 0.3, seed=99 + i),
+            )
+
+        batch = vectorize_oracles([build(i) for i in range(replicas)], replicas)
+        assert isinstance(batch, PerReplicaBatchOracle)
+
+    def test_intersect_batch_oracle(self):
+        import numpy as np
+
+        n, replicas = 5, 2
+        a = vectorize_oracles([StaticCrashOracle(n, {4: 1})] * replicas, replicas)
+        b = vectorize_oracles([PartitionOracle(n, [range(3), range(3, 5)])] * replicas, replicas)
+        both = IntersectBatchOracle(a, b)
+        scalar = IntersectOracle(
+            n, StaticCrashOracle(n, {4: 1}), PartitionOracle(n, [range(3), range(3, 5)])
+        )
+        rows = self._masks_as_ints(both.round_masks(2, np.ones(replicas, dtype=bool)))
+        assert rows[0] == [scalar.ho_mask(2, p) for p in range(n)]
+
+
+class TestArrayBoundary:
+    @pytest.mark.parametrize("n", [5, 63, 64, 65, 128])
+    def test_pack_unpack_round_trip(self, n):
+        import numpy as np
+
+        from repro.batch.arrays import (
+            pack_bools,
+            popcount_words,
+            unpack_words,
+            words_array_from_masks,
+        )
+        from repro.rounds.bitmask import bit_count, full_mask, mask_of
+
+        masks = [
+            0,
+            full_mask(n),
+            mask_of({0, n - 1}),
+            mask_of({p for p in range(n) if p % 5 == 2}),
+        ]
+        words = words_array_from_masks(masks, n)
+        bits = unpack_words(words, n)
+        assert bits.shape == (len(masks), n)
+        for i, mask in enumerate(masks):
+            assert [int(b) for b in bits[i]] == [(mask >> p) & 1 for p in range(n)]
+        assert popcount_words(words).tolist() == [bit_count(m) for m in masks]
+        repacked = pack_bools(bits, n)
+        assert np.array_equal(repacked, words)

@@ -1,0 +1,157 @@
+"""Batched predicate monitors == scalar streaming monitors, replica by replica.
+
+The scalar monitors are themselves property-pinned against the
+whole-collection checkers, so agreeing with them transitively pins the
+batched kernels to Table 1 / Section 4.2.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro._optional import have_numpy
+from repro.predicates import MONITOR_NAMES, MonitorBank, build_monitor
+
+pytestmark = pytest.mark.skipif(not have_numpy(), reason="numpy not available")
+
+
+def random_mask_rounds(n, rounds, seed, shape_bias):
+    """A replica's mask stream mixing uniform, kernel-ish and noisy rounds."""
+    rng = random.Random(seed)
+    full = (1 << n) - 1
+    out = []
+    for _ in range(rounds):
+        style = rng.random()
+        if style < shape_bias:
+            out.append([full] * n)                      # space-uniform full round
+        elif style < 2 * shape_bias:
+            core = full & ~(1 << rng.randrange(n))
+            out.append([core | (1 << p) for p in range(n)])  # kernel-ish round
+        else:
+            out.append([rng.randrange(1 << n) | (1 << p) for p in range(n)])
+    return out
+
+
+def scalar_reports(n, streams, pi0):
+    reports = []
+    for masks_per_round in streams:
+        bank = MonitorBank(n, [build_monitor(name, n, pi0=pi0) for name in MONITOR_NAMES])
+        for round, masks in enumerate(masks_per_round, start=1):
+            bank.observe_round(round, masks)
+        reports.append({name: r.to_json_dict() for name, r in bank.reports().items()})
+    return reports
+
+
+def batched_reports(n, streams, pi0):
+    import numpy as np
+
+    from repro.batch.arrays import popcount_words, unpack_words, words_array_from_masks
+    from repro.predicates.batch import BatchMonitorBank
+    from repro.rounds.bitmask import mask_of
+
+    replicas = len(streams)
+    bank = BatchMonitorBank(
+        n, replicas, MONITOR_NAMES, pi0_mask=None if pi0 is None else mask_of(pi0)
+    )
+    rounds = len(streams[0])
+    active = np.ones(replicas, dtype=bool)
+    for round in range(1, rounds + 1):
+        words = np.stack(
+            [words_array_from_masks(stream[round - 1], n) for stream in streams]
+        )
+        heard = unpack_words(words, n)
+        bank.observe_round(round, words, heard, popcount_words(words), active)
+    return [bank.reports_json_of(r) for r in range(replicas)]
+
+
+class TestBatchedMonitorEquivalence:
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    @pytest.mark.parametrize("shape_bias", [0.15, 0.4])
+    def test_all_six_monitors_match_per_replica(self, n, shape_bias):
+        streams = [random_mask_rounds(n, 25, seed, shape_bias) for seed in range(6)]
+        pi0 = frozenset(range(n))
+        assert batched_reports(n, streams, pi0) == scalar_reports(n, streams, pi0)
+
+    def test_restricted_pi0_scope(self):
+        n = 6
+        streams = [random_mask_rounds(n, 20, 50 + seed, 0.3) for seed in range(4)]
+        pi0 = frozenset({0, 1, 2, 4})
+        assert batched_reports(n, streams, pi0) == scalar_reports(n, streams, pi0)
+
+    def test_word_boundary_system_size(self):
+        n = 65
+        rng = random.Random(1)
+        full = (1 << n) - 1
+        streams = [
+            [
+                [full] * n if r % 4 == 0 else
+                [rng.getrandbits(n) | (1 << p) for p in range(n)]
+                for r in range(12)
+            ]
+            for _ in range(3)
+        ]
+        pi0 = frozenset(range(n))
+        assert batched_reports(n, streams, pi0) == scalar_reports(n, streams, pi0)
+
+    def test_inactive_replicas_freeze(self):
+        import numpy as np
+
+        from repro.batch.arrays import popcount_words, unpack_words, words_array_from_masks
+        from repro.predicates.batch import BatchMonitorBank
+
+        n = 4
+        streams = [random_mask_rounds(n, 10, seed, 0.3) for seed in range(3)]
+        bank = BatchMonitorBank(n, 3, MONITOR_NAMES)
+        for round in range(1, 11):
+            # replica 1 stops after round 4
+            active = np.array([True, round <= 4, True])
+            words = np.stack(
+                [words_array_from_masks(stream[round - 1], n) for stream in streams]
+            )
+            bank.observe_round(
+                round, words, unpack_words(words, n), popcount_words(words), active
+            )
+        # replica 1 must equal a scalar bank fed only the first 4 rounds
+        expected = scalar_reports(n, [streams[1][:4]], frozenset(range(n)))[0]
+        assert bank.reports_json_of(1) == expected
+        full_expected = scalar_reports(n, [streams[0]], frozenset(range(n)))[0]
+        assert bank.reports_json_of(0) == full_expected
+
+    def test_stop_after_held_matches_scalar_policy(self):
+        import numpy as np
+
+        from repro.batch.arrays import popcount_words, unpack_words, words_array_from_masks
+        from repro.predicates.batch import BatchMonitorBank
+        from repro.predicates import StopAfterHeld, build_monitor_bank
+
+        n = 4
+        streams = [random_mask_rounds(n, 15, 70 + seed, 0.5) for seed in range(5)]
+        batch_bank = BatchMonitorBank(n, 5, ("p_k",), stop_after_held=3)
+        scalar_banks = [
+            build_monitor_bank(n, ("p_k",), stop_after_held=3) for _ in streams
+        ]
+        assert isinstance(scalar_banks[0].stop_policies[0], StopAfterHeld)
+        active = np.ones(5, dtype=bool)
+        stops = [None] * 5
+        for round in range(1, 16):
+            words = np.stack(
+                [words_array_from_masks(stream[round - 1], n) for stream in streams]
+            )
+            batch_bank.observe_round(
+                round, words, unpack_words(words, n), popcount_words(words), active
+            )
+            for r, bank in enumerate(scalar_banks):
+                if stops[r] is None:
+                    bank.observe_round(round, streams[r][round - 1])
+                    if bank.stop_requested:
+                        stops[r] = round
+            active &= ~batch_bank.stop_array
+        batch_stops = [
+            None if not batch_bank.stop_array[r] else int(
+                batch_bank.monitors[0].rounds_observed[r]
+            )
+            for r in range(5)
+        ]
+        assert batch_stops == stops

@@ -46,9 +46,14 @@ class TestCli:
             assert name in listed
         for name in REGISTRY.measurement_names():
             assert name in listed
-        # monitorable scenarios are marked so --predicates targets are obvious
+        # monitorable/batchable scenarios are marked so --predicates and
+        # --replicas targets are obvious
+        batchable = set(REGISTRY.batchable_scenario_names())
         for name in REGISTRY.monitorable_scenario_names():
-            assert f"  {name}  [monitorable]\n" in out
+            if name in batchable:
+                assert f"  {name}  [monitorable, batchable]\n" in out
+            else:
+                assert f"  {name}  [monitorable]\n" in out
 
     def test_sweep_writes_csv_and_json(self, tmp_path, capsys):
         json_path = tmp_path / "sweep.json"

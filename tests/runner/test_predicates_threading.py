@@ -1,4 +1,4 @@
-"""Tests for predicate reports threaded through the sweep pipeline (repro-sweep/3)."""
+"""Tests for predicate reports threaded through the sweep pipeline (repro-sweep/4)."""
 
 from __future__ import annotations
 
@@ -45,10 +45,10 @@ class TestWireRecords:
         assert record.predicates is None
         assert record.to_json_dict()["predicates"] is None
 
-    def test_schema_is_v3(self):
-        assert SCHEMA == "repro-sweep/3"
+    def test_schema_is_v4(self):
+        assert SCHEMA == "repro-sweep/4"
         result = SweepResult(records=[execute_run(monitored_spec())])
-        assert result.to_json()["schema"] == "repro-sweep/3"
+        assert result.to_json()["schema"] == "repro-sweep/4"
 
     def test_json_round_trip_preserves_reports(self):
         record = execute_run(monitored_spec())
@@ -134,7 +134,7 @@ class TestCliFlags:
         )
         assert code == 0
         payload = json.loads(json_path.read_text())
-        assert payload["schema"] == "repro-sweep/3"
+        assert payload["schema"] == "repro-sweep/4"
         (run,) = payload["runs"]
         assert set(run["predicates"]) == {"p_su", "p_k", "p_2otr"}
         assert run["params"]["predicates"] == ["p_su", "p_k", "p_2otr"]

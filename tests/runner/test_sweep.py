@@ -186,7 +186,7 @@ class TestSweepExecutor:
         path = tmp_path / "sub" / "sweep.json"
         sweep.write_json(str(path))
         payload = json.loads(path.read_text())
-        assert payload["schema"] == "repro-sweep/3"
+        assert payload["schema"] == "repro-sweep/4"
         assert payload["grid_size"] == 2
         assert len(payload["runs"]) == 2
         assert set(payload["aggregates"]) == {"ho-stack/crash-stop"}
