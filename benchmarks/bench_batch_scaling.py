@@ -10,13 +10,22 @@ it once per round, so the speedup is interpreter-overhead elimination --
 data parallelism that works even on a single core, which is exactly what
 the sweep harness needs on one-core hosts where process pools buy nothing.
 
-Emits ``BENCH_batch.json`` (schema ``repro-bench-batch/1``) next to
+A second experiment measures *whole-grid wall clock*: a realistic sweep
+grid -- classic cells plus all four dynamic adversary families, each as an
+R-replica cell -- executed as B scalar cells versus ONE cross-cell
+super-batch (`repro.batch.SuperBatchBackend`).  The counter-based oracle
+streams make the dynamic families vectorisable with no per-replica loop,
+so the grid speedup at n=64 is far larger than the per-cell figure; the
+figures land under the ``grid`` key of the same JSON.
+
+Emits ``BENCH_batch.json`` (schema ``repro-bench-batch/2``) next to
 BENCH_rounds/BENCH_sweep/BENCH_predicates so CI can track the trajectory::
 
     python benchmarks/bench_batch_scaling.py --sizes 16 64 128 --replica-counts 64 256
 
 Both backends are verified against each other (decisions and decision
-rounds per replica) before a cell's timing is accepted.
+rounds per replica; for the grid, the full flattened outcome dicts)
+before a cell's timing is accepted.
 """
 
 from __future__ import annotations
@@ -38,9 +47,24 @@ from repro.rounds.bitmask import mask_of  # noqa: E402
 from repro.workloads.batched import _classic_oracle, _classic_values  # noqa: E402
 from repro.workloads.scenarios import _scope_for  # noqa: E402
 
-SCHEMA = "repro-bench-batch/1"
+SCHEMA = "repro-bench-batch/2"
 
 FAULT_MODEL = "crash-stop"
+
+#: The whole-grid experiment: classic cells plus all four dynamic families.
+#: Every cell must super-batch (no per-cell fallback, no per-replica oracle
+#: loop) -- the bench asserts it.
+GRID_CELLS = [
+    ("ho-classic-otr", "fault-free"),
+    ("ho-classic-otr", "crash-stop"),
+    ("ho-classic-otr", "crash-recovery"),
+    ("ho-round-mobile-omission", "fault-free"),
+    ("ho-round-mobile-omission", "crash-stop"),
+    ("ho-round-rotating-partition", "fault-free"),
+    ("ho-round-bursty-loss", "fault-free"),
+    ("ho-round-bursty-loss", "crash-stop"),
+    ("ho-round-eventually-stable-coordinator", "fault-free"),
+]
 
 
 def build_batch(n: int, replicas: int, rounds: int, base_seed: int) -> ReplicaBatch:
@@ -135,6 +159,85 @@ def benchmark(
     }
 
 
+def build_grid_plans(n: int, replicas: int, rounds: int):
+    """One CellPlan per GRID_CELLS entry, through the sweep registry --
+    exactly the cells ``run_sweep(backend="super")`` would pack."""
+    from repro.runner.registry import REGISTRY
+
+    seeds = list(range(1, replicas + 1))
+    plans = []
+    for scenario, fault_model in GRID_CELLS:
+        builder = REGISTRY.batch_builder(scenario)
+        assert builder is not None, f"{scenario} has no CellPlan builder"
+        plans.append(builder(fault_model, n=n, seeds=seeds, rounds=rounds))
+    return plans
+
+
+def benchmark_grid(
+    n: int, replicas: int, rounds: int, repeats: int
+) -> Dict[str, Any]:
+    """Whole-grid wall clock: B scalar cells vs ONE cross-cell super-batch."""
+    from repro.adversaries.batch import PerReplicaBatchOracle
+    from repro.batch import SuperBatchBackend
+
+    scalar = get_backend("scalar")
+    scalar_seconds = float("inf")
+    scalar_outcomes = None
+    for _ in range(repeats):
+        plans = build_grid_plans(n, replicas, rounds)
+        started = time.perf_counter()
+        outcomes = [scalar.run(plan.batch) for plan in plans]
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - started)
+        scalar_outcomes = [
+            plan.finalize(cell) for plan, cell in zip(plans, outcomes)
+        ]
+
+    super_seconds = float("inf")
+    super_outcomes = None
+    for _ in range(repeats):
+        backend = SuperBatchBackend()
+        plans = build_grid_plans(n, replicas, rounds)
+        started = time.perf_counter()
+        results = backend.run_batches([plan.batch for plan in plans])
+        super_seconds = min(super_seconds, time.perf_counter() - started)
+        assert backend.last_fallback_reasons == {}, backend.last_fallback_reasons
+        super_outcomes = [
+            plan.finalize(cell) for plan, cell in zip(plans, results)
+        ]
+
+    assert super_outcomes == scalar_outcomes, "grid backend divergence"
+    # The acceptance criterion behind the speedup: no oracle degraded to the
+    # opaque per-replica query loop anywhere in the grid.
+    probe = build_grid_plans(n, replicas, rounds)
+    from repro.adversaries.batch import vectorize_oracles
+
+    for (scenario, fault_model), plan in zip(GRID_CELLS, probe):
+        batch_oracle = vectorize_oracles(
+            [task.oracle for task in plan.batch.tasks], plan.batch.replicas
+        )
+        assert not isinstance(batch_oracle, PerReplicaBatchOracle), (
+            scenario,
+            fault_model,
+        )
+
+    speedup = scalar_seconds / super_seconds
+    print(
+        f"grid n={n:<4} B={len(GRID_CELLS)} cells x R={replicas}   "
+        f"scalar: {scalar_seconds * 1e3:9.1f}ms   "
+        f"super: {super_seconds * 1e3:8.1f}ms   speedup: {speedup:6.2f}x"
+    )
+    return {
+        "n": n,
+        "cells": len(GRID_CELLS),
+        "grid": [list(cell) for cell in GRID_CELLS],
+        "replicas_per_cell": replicas,
+        "rounds": rounds,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "super_seconds": round(super_seconds, 6),
+        "speedup": round(speedup, 2),
+    }
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -153,6 +256,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--repeats", type=int, default=3, help="timing repeats, best-of (default: 3)"
     )
     parser.add_argument(
+        "--grid-n", type=int, default=64,
+        help="system size of the whole-grid experiment (default: 64)",
+    )
+    parser.add_argument(
+        "--grid-replicas", type=int, default=32,
+        help="replicas per grid cell (default: 32)",
+    )
+    parser.add_argument(
+        "--grid-rounds", type=int, default=30,
+        help="round horizon of the grid cells (default: 30)",
+    )
+    parser.add_argument(
+        "--skip-grid", action="store_true",
+        help="skip the whole-grid scalar-vs-super experiment",
+    )
+    parser.add_argument(
         "--json", default="BENCH_batch.json",
         help="output path (default: BENCH_batch.json)",
     )
@@ -165,6 +284,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
     payload = benchmark(args.sizes, args.replica_counts, args.rounds, args.repeats)
+    if not args.skip_grid:
+        payload["grid"] = benchmark_grid(
+            args.grid_n, args.grid_replicas, args.grid_rounds, args.repeats
+        )
     with open(args.json, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2)
         handle.write("\n")

@@ -177,17 +177,24 @@ def vectorize_oracles(oracles: Sequence[HOOracleBase], replicas: int) -> Any:
     via the fallback loop, so broadcasting can never silently change a
     replica's environment.
 
-    Intersections decompose: a batch of ``IntersectOracle``\\ s mixing
-    deterministic and *one* stateful component (the common crash-schedule-
-    plus-seeded-loss shape) is rebuilt as an :class:`IntersectBatchOracle`
-    whose deterministic components broadcast while only the stateful one
-    runs the per-replica loop.  Decomposition reorders queries *across*
-    components (component by component instead of process by process), so
-    it is only taken when at most one component draws randomness -- two
-    stateful components sharing a stream would otherwise interleave their
-    draws differently than the scalar engine.
+    The dynamic adversary families draw counter-based randomness
+    (:mod:`repro.adversaries.counter_batch`): a batch of one family with
+    shared construction parameters is served by its array dual, which
+    recomputes the scalar oracles' draws array-wide -- bit-identical with
+    no per-replica loop.
+
+    Intersections decompose: a batch of ``IntersectOracle``\\ s is rebuilt
+    as an :class:`IntersectBatchOracle` whose components broadcast or run
+    their counter duals independently.  Decomposition reorders queries
+    *across* components (component by component instead of process by
+    process), which is invisible to broadcast and counter-based components
+    (their draws carry no cursor) but would change the draw interleaving of
+    two *sequential* stateful components sharing a stream -- so the guard
+    that remains is: at most one component may resolve to the opaque
+    :class:`PerReplicaBatchOracle` loop.
     """
     from .combinators import IntersectOracle
+    from .counter_batch import counter_batch_dual
 
     if len(oracles) != replicas:
         raise ValueError(f"expected {replicas} oracles, got {len(oracles)}")
@@ -195,6 +202,9 @@ def vectorize_oracles(oracles: Sequence[HOOracleBase], replicas: int) -> Any:
         _structurally_equal(oracle, oracles[0]) for oracle in oracles[1:]
     ):
         return BroadcastBatchOracle(oracles[0], replicas)
+    dual = counter_batch_dual(oracles, replicas)
+    if dual is not None:
+        return dual
     if isinstance(oracles[0], IntersectOracle):
         arity = len(oracles[0].oracles)
         if arity > 1 and all(
@@ -205,12 +215,10 @@ def vectorize_oracles(oracles: Sequence[HOOracleBase], replicas: int) -> Any:
                 vectorize_oracles([oracle.oracles[i] for oracle in oracles], replicas)
                 for i in range(arity)
             ]
-            stateful = sum(
-                1 for c in components if not isinstance(c, BroadcastBatchOracle)
+            sequential = sum(
+                1 for c in components if isinstance(c, PerReplicaBatchOracle)
             )
-            if stateful <= 1 and any(
-                isinstance(c, BroadcastBatchOracle) for c in components
-            ):
+            if sequential <= 1:
                 return IntersectBatchOracle(*components)
     return PerReplicaBatchOracle(oracles)
 

@@ -1,0 +1,324 @@
+"""Replica-vectorised duals of the counter-based dynamic adversaries.
+
+Each class here is the array twin of one family in
+:mod:`repro.adversaries.dynamic`: it holds the per-replica 64-bit stream
+keys (the very keys the scalar oracles hash under) and recomputes every
+draw array-wide with :func:`repro.engine.counter.counter_hash_array`.
+Because a counter-based draw is a pure function of ``(key, counter
+tuple)``, the duals are bit-identical to the scalar oracles by construction
+-- no query-order replay, no ``PerReplicaBatchOracle`` fallback loop.
+
+:func:`counter_batch_dual` is the entry point used by
+:func:`repro.adversaries.batch.vectorize_oracles`: given the scalar oracle
+of every replica, it returns the vectorised dual when all replicas run the
+same family with the same construction parameters (checked via each
+family's ``counter_batch_signature``) and differ only in their stream key
+-- exactly the shape the scenario builders produce, where replica ``i`` is
+the single run seeded ``seed + i``.
+
+The recurrent families keep their recurrences, vectorised over rows: the
+rotating partition chains each epoch's assignment on the previous epoch's,
+and the Gilbert-Elliott link states advance round by round.  Both advance
+monotonically (engines query rounds in nondecreasing order) and, mirroring
+the scalar memos, raise :class:`LookupError` on a query behind the frontier
+rather than silently replaying history.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+from .._optional import require_numpy
+from ..batch.arrays import pack_bools
+from ..engine.counter import counter_hash_array, units_of_array
+from ..rounds.bitmask import WORD_BITS, word_count
+from .dynamic import (
+    BurstyLossOracle,
+    EventuallyStableCoordinatorOracle,
+    MobileOmissionOracle,
+    RotatingPartitionOracle,
+)
+
+
+class _CounterDualBase:
+    """Shared scaffolding: per-row keys, full/self word constants."""
+
+    def __init__(self, oracles: Sequence[Any]) -> None:
+        np = require_numpy()
+        first = oracles[0]
+        self.np = np
+        self.n = first.n
+        self.replicas = len(oracles)
+        # The per-replica stream keys -- the same derive_seed(seed_i, name)
+        # values the scalar oracles hash under (friend access within the
+        # adversaries package).
+        self.keys = np.array([o._ctr.key for o in oracles], dtype=np.uint64)
+        self._words = word_count(self.n)
+        n, W = self.n, self._words
+        self._arange = np.arange(n, dtype=np.uint64)
+        # (n, W) uint64 with exactly the receiver's own bit set per row.
+        self_bits = np.zeros((n, W), dtype=np.uint64)
+        self_bits[np.arange(n), np.arange(n) // WORD_BITS] = np.uint64(1) << (
+            self._arange % np.uint64(WORD_BITS)
+        )
+        self._self_bits = self_bits
+        # (n, W) full-mask rows (every process heard).
+        eye = np.ones((1, n), dtype=bool)
+        self._full_words = np.broadcast_to(pack_bools(eye, n), (n, W))
+
+    def _full_rows(self) -> Any:
+        """The all-heard ``(R, n, W)`` array (stabilised / healed rounds)."""
+        np = self.np
+        return np.broadcast_to(
+            self._full_words, (self.replicas, self.n, self._words)
+        )
+
+
+class MobileOmissionBatchDual(_CounterDualBase):
+    """Array twin of :class:`~repro.adversaries.dynamic.MobileOmissionOracle`.
+
+    The scalar oracle silences the *faults* processes with the smallest
+    ``(hash(round, q), q)``; the dual sorts the same ``(R, n)`` hash array
+    with a stable argsort (ties break toward lower ``q``, matching the
+    scalar tuple order) and packs the complement.
+    """
+
+    def __init__(self, oracles: Sequence[MobileOmissionOracle]) -> None:
+        super().__init__(oracles)
+        first = oracles[0]
+        self.faults = first.faults
+        self.stable_from = first.stable_from
+
+    def round_masks(self, round: int, active: Any) -> Any:
+        np = self.np
+        if (
+            self.stable_from is not None and round >= self.stable_from
+        ) or self.faults == 0:
+            return self._full_rows()
+        hashes = counter_hash_array(
+            np, self.keys[:, None], [np.uint64(round), self._arange]
+        )
+        order = np.argsort(hashes, axis=1, kind="stable")
+        silenced = np.zeros((self.replicas, self.n), dtype=bool)
+        np.put_along_axis(silenced, order[:, : self.faults], True, axis=1)
+        base = self._full_words[0] & ~pack_bools(silenced, self.n)
+        return base[:, None, :] | self._self_bits[None, :, :]
+
+
+class RotatingPartitionBatchDual(_CounterDualBase):
+    """Array twin of :class:`~repro.adversaries.dynamic.RotatingPartitionOracle`.
+
+    Keeps the per-row block assignment ``(R, n)`` and chains each epoch on
+    the previous one exactly like the scalar recurrence; the per-epoch mask
+    array is memoised for the rounds of the current epoch only.
+    """
+
+    def __init__(self, oracles: Sequence[RotatingPartitionOracle]) -> None:
+        super().__init__(oracles)
+        first = oracles[0]
+        self.blocks = first.blocks
+        self.period = first.period
+        self.churn = first.churn
+        self.heal_from = first.heal_from
+        self._assignment: Optional[Any] = None
+        self._next_epoch = 0
+        self._epoch: Optional[int] = None
+        self._epoch_words: Optional[Any] = None
+
+    def _advance_to(self, epoch: int) -> None:
+        np = self.np
+        while self._next_epoch <= epoch:
+            e = self._next_epoch
+            block_draw = counter_hash_array(
+                np,
+                self.keys[:, None],
+                [np.uint64(1), np.uint64(e), self._arange],
+            ) % np.uint64(self.blocks)
+            if self._assignment is None:
+                assignment = block_draw
+            else:
+                churn_u = units_of_array(
+                    np,
+                    counter_hash_array(
+                        np,
+                        self.keys[:, None],
+                        [np.uint64(0), np.uint64(e), self._arange],
+                    ),
+                )
+                assignment = np.where(
+                    churn_u < self.churn, block_draw, self._assignment
+                )
+            self._assignment = assignment
+            self._next_epoch += 1
+        if self._epoch != epoch:
+            same_block = self._assignment[:, :, None] == self._assignment[:, None, :]
+            self._epoch_words = pack_bools(same_block, self.n)
+            self._epoch = epoch
+
+    def round_masks(self, round: int, active: Any) -> Any:
+        if self.heal_from is not None and round >= self.heal_from:
+            return self._full_rows()
+        epoch = (round - 1) // self.period
+        if epoch < self._next_epoch - 1:
+            raise LookupError(
+                f"partition epoch {epoch} is behind the batch frontier "
+                f"({self._next_epoch - 1}); the assignment recurrence only "
+                "advances forward"
+            )
+        self._advance_to(epoch)
+        return self._epoch_words
+
+
+class BurstyLossBatchDual(_CounterDualBase):
+    """Array twin of :class:`~repro.adversaries.dynamic.BurstyLossOracle`.
+
+    The ``(R, n, n)`` link-state matrix advances one round at a time (the
+    Gilbert-Elliott chain is a recurrence); state and loss coins are the
+    scalar oracle's counter draws ``(0, r, p, q)`` and ``(1, r, p, q)``
+    computed array-wide.  The scalar path skips the loss coin when the loss
+    probability is zero; the dual always computes it, which is equivalent
+    because a uniform in ``[0, 1)`` is never below zero and counter draws
+    have no cursor to shift.
+    """
+
+    def __init__(self, oracles: Sequence[BurstyLossOracle]) -> None:
+        super().__init__(oracles)
+        np = self.np
+        first = oracles[0]
+        self.p_burst = first.p_burst
+        self.p_recover = first.p_recover
+        self.loss_burst = first.loss_burst
+        self.loss_good = first.loss_good
+        self.stable_from = first.stable_from
+        self._bursty = np.zeros((self.replicas, self.n, self.n), dtype=bool)
+        self._computed_round = 0
+        self._round_words: Optional[Any] = None
+        eye = np.eye(self.n, dtype=bool)
+        self._eye = eye[None, :, :]
+
+    def _advance_to(self, round: int) -> None:
+        np = self.np
+        p_axis = self._arange[:, None]
+        q_axis = self._arange[None, :]
+        keys = self.keys[:, None, None]
+        while self._computed_round < round:
+            self._computed_round += 1
+            r = np.uint64(self._computed_round)
+            u_state = units_of_array(
+                np, counter_hash_array(np, keys, [np.uint64(0), r, p_axis, q_axis])
+            )
+            bursty = np.where(
+                self._bursty, u_state >= self.p_recover, u_state < self.p_burst
+            )
+            self._bursty = bursty
+            loss = np.where(bursty, self.loss_burst, self.loss_good)
+            u_loss = units_of_array(
+                np, counter_hash_array(np, keys, [np.uint64(1), r, p_axis, q_axis])
+            )
+            heard = self._eye | (u_loss >= loss)
+            self._round_words = pack_bools(heard, self.n)
+
+    def round_masks(self, round: int, active: Any) -> Any:
+        if self.stable_from is not None and round >= self.stable_from:
+            return self._full_rows()
+        if round < self._computed_round:
+            raise LookupError(
+                f"bursty-loss round {round} is behind the batch frontier "
+                f"({self._computed_round}); link states only advance forward"
+            )
+        self._advance_to(round)
+        return self._round_words
+
+
+class EventuallyStableCoordinatorBatchDual(_CounterDualBase):
+    """Array twin of :class:`~repro.adversaries.dynamic.EventuallyStableCoordinatorOracle`.
+
+    Stateless per round: the pretender draw ``(0, round)``, the flakiness
+    coins ``(1, round, p)`` and the background coins ``(2, round, p, q)``
+    are all recomputed array-wide.  The write order matches the scalar
+    oracle: background mask, then the pretender bit is forced to the
+    flakiness outcome, then the self bit is set on top.
+    """
+
+    def __init__(
+        self, oracles: Sequence[EventuallyStableCoordinatorOracle]
+    ) -> None:
+        super().__init__(oracles)
+        first = oracles[0]
+        self.stable_from = first.stable_from
+        self.flaky_probability = first.flaky_probability
+        self.background_probability = first.background_probability
+
+    def round_masks(self, round: int, active: Any) -> Any:
+        np = self.np
+        if round >= self.stable_from:
+            return self._full_rows()
+        r = np.uint64(round)
+        n = self.n
+        pretender = counter_hash_array(np, self.keys, [np.uint64(0), r]) % np.uint64(n)
+        heard = (
+            units_of_array(
+                np,
+                counter_hash_array(
+                    np,
+                    self.keys[:, None, None],
+                    [np.uint64(2), r, self._arange[:, None], self._arange[None, :]],
+                ),
+            )
+            < self.background_probability
+        )
+        flaky_ok = (
+            units_of_array(
+                np,
+                counter_hash_array(
+                    np, self.keys[:, None], [np.uint64(1), r, self._arange]
+                ),
+            )
+            >= self.flaky_probability
+        )
+        idx = np.broadcast_to(
+            pretender.astype(np.int64)[:, None, None], (self.replicas, n, 1)
+        )
+        np.put_along_axis(heard, idx, flaky_ok[:, :, None], axis=2)
+        diag = np.arange(n)
+        heard[:, diag, diag] = True
+        return pack_bools(heard, n)
+
+
+_DUALS = {
+    MobileOmissionOracle: MobileOmissionBatchDual,
+    RotatingPartitionOracle: RotatingPartitionBatchDual,
+    BurstyLossOracle: BurstyLossBatchDual,
+    EventuallyStableCoordinatorOracle: EventuallyStableCoordinatorBatchDual,
+}
+
+
+def counter_batch_dual(oracles: Sequence[Any], replicas: int) -> Optional[Any]:
+    """The vectorised dual of per-replica counter-based oracles, or None.
+
+    Applicable when every replica's oracle is the same dynamic family with
+    the same construction parameters (``counter_batch_signature``), so that
+    the replicas differ only in their stream keys -- the shape produced by
+    seeding replica ``i`` as the single run ``seed + i``.  Returns None for
+    any other oracle (the caller falls through to its other strategies).
+    """
+    first = oracles[0]
+    dual_cls = _DUALS.get(type(first))
+    if dual_cls is None:
+        return None
+    signature = first.counter_batch_signature()
+    for oracle in oracles[1:]:
+        if type(oracle) is not type(first):
+            return None
+        if oracle.counter_batch_signature() != signature:
+            return None
+    return dual_cls(list(oracles))
+
+
+__all__ = [
+    "MobileOmissionBatchDual",
+    "RotatingPartitionBatchDual",
+    "BurstyLossBatchDual",
+    "EventuallyStableCoordinatorBatchDual",
+    "counter_batch_dual",
+]

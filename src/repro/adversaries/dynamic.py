@@ -23,28 +23,35 @@ those environments expressible at the heard-of level:
 
 All are mask-native, memoise per (round, process), support an eventual
 stabilisation round (so liveness experiments terminate), and draw from
-named :class:`~repro.engine.rng.SeededRng` sub-streams (``oracle.mobile``,
-``oracle.partition``, ``oracle.burst``, ``oracle.coordinator``).
+named *counter-based* streams (:meth:`~repro.engine.rng.SeededRng.
+counter_stream`: ``oracle.mobile``, ``oracle.partition``, ``oracle.burst``,
+``oracle.coordinator``).  A draw is a pure function of the stream key and a
+counter tuple ``(tag, round, ...)`` -- no sequential cursor -- so the
+replica-vectorised batch duals (:mod:`repro.adversaries.batch`) recompute
+the very same values array-wide, in any order, bit-identically; each oracle
+exposes its key and its :meth:`counter_batch_signature` for that purpose.
 
 The memos are *bounded*: like the engine's ``_BITS_CACHE_LIMIT``, an
 oracle driven for a long run must not accumulate O(rounds · n) state, so
 only the :data:`MEMO_RETAIN_ROUNDS` most recent rounds are retained.
-Eviction never changes a seeded draw sequence -- draws happen exactly once
-per key, in the same order as before -- but re-querying a round that has
-already been evicted raises instead of silently re-drawing (which would
-shift every later draw).  Engines query rounds in nondecreasing order and
+Eviction never changes a draw -- counter-based values do not depend on when
+they are computed -- but the recurrent families (partition churn chains on
+the previous epoch, Gilbert-Elliott states advance round by round) would
+have to replay their whole history to honour a stale re-query, so a lookup
+at or below the eviction horizon still raises instead of silently paying
+that replay.  Engines query rounds in nondecreasing order and
 :class:`~repro.adversaries.combinators.WindowSwitchOracle` rebases its
 components to small local rounds, so the window is invisible in practice.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.types import ProcessId, Round
 from ..engine.rng import SeededRng
 from ..rounds.bitmask import mask_of
-from .base import MaskOracleBase, bernoulli_mask, oracle_rng
+from .base import MaskOracleBase, oracle_rng
 
 #: How much recent history a dynamic oracle's memo retains before evicting:
 #: round-keyed memos keep this many rounds, (round, process)-keyed memos
@@ -65,11 +72,12 @@ def _retention(retain_rounds: Optional[int]) -> int:
 class _BoundedMemo:
     """An insertion-ordered memo bounded to the most recent entries.
 
-    Dynamic oracles draw lazily on first query, so an evicted key can never
-    be recomputed without perturbing the seeded stream; a lookup at or
-    below the eviction horizon therefore raises :class:`LookupError`
-    instead of silently re-drawing.  Keys must be mutually comparable and
-    arrive in (roughly) ascending order -- true for engine-driven queries.
+    Counter-based draws could in principle be recomputed after eviction,
+    but the recurrent families would have to replay every epoch/round since
+    the beginning to do so; a lookup at or below the eviction horizon
+    therefore raises :class:`LookupError` instead of silently paying an
+    O(rounds) replay.  Keys must be mutually comparable and arrive in
+    (roughly) ascending order -- true for engine-driven queries.
     """
 
     __slots__ = ("_entries", "_limit", "_horizon", "_label")
@@ -108,12 +116,13 @@ class _BoundedMemo:
 class MobileOmissionOracle(MaskOracleBase):
     """Mobile omission faults: up to *faults* senders are silenced per round.
 
-    Every round, a fresh set of *faults* processes is drawn from the
-    ``oracle.mobile`` sub-stream; their round messages are lost at every
-    receiver (send omission), while every other transmission arrives.  The
-    faulty set *moves*: over time every process is hit, but never more than
-    *faults* of them in any single round -- the classic mobile-failure
-    adversary, which no static crash model can express.
+    Every round, the silenced set is the *faults* processes with the
+    smallest counter draws ``hash(round, q)`` on the ``oracle.mobile``
+    stream -- a fresh uniform subset per round; their round messages are
+    lost at every receiver (send omission), while every other transmission
+    arrives.  The faulty set *moves*: over time every process is hit, but
+    never more than *faults* of them in any single round -- the classic
+    mobile-failure adversary, which no static crash model can express.
 
     From *stable_from* on (if given) no faults occur, so runs eventually
     satisfy any good-period predicate.  Receivers always hear themselves.
@@ -133,13 +142,19 @@ class MobileOmissionOracle(MaskOracleBase):
             raise ValueError(f"faults must be in 0..{n}, got {faults}")
         self.faults = faults
         self.stable_from = stable_from
-        self._stream = oracle_rng(seed, rng).stream("oracle.mobile")
+        self._ctr = oracle_rng(seed, rng).counter_stream("oracle.mobile")
         self._silenced = _BoundedMemo(_retention(retain_rounds), "mobile-omission round")
+
+    def counter_batch_signature(self) -> Tuple[Any, ...]:
+        """The construction state a batch dual must see shared by all replicas."""
+        return ("mobile-omission", self.n, self.faults, self.stable_from)
 
     def _silenced_mask(self, round: Round) -> int:
         mask = self._silenced.get(round)
         if mask is None:
-            mask = mask_of(self._stream.sample(range(self.n), self.faults))
+            ctr = self._ctr
+            order = sorted(range(self.n), key=lambda q: (ctr.hash(round, q), q))
+            mask = mask_of(order[: self.faults])
             self._silenced.put(round, mask)
         return mask
 
@@ -156,11 +171,13 @@ class RotatingPartitionOracle(MaskOracleBase):
 
     The process set is split into *blocks* blocks.  Every *period* rounds a
     new epoch starts: each process keeps its block with probability
-    ``1 - churn`` and otherwise moves to a uniformly random block (drawn
-    from the ``oracle.partition`` sub-stream).  ``churn=1.0`` reshuffles the
-    partition completely each epoch; ``churn=0.0`` freezes the initial
-    random partition.  Within an epoch, a process hears exactly its block
-    (which always contains itself).
+    ``1 - churn`` and otherwise moves to a uniformly random block.  Both
+    draws are counter-based on the ``oracle.partition`` stream -- churn at
+    ``(0, epoch, q)``, the new block at ``(1, epoch, q)`` -- but the
+    *assignment* still chains on the previous epoch, so epochs are computed
+    in order.  ``churn=1.0`` reshuffles the partition completely each
+    epoch; ``churn=0.0`` freezes the initial random partition.  Within an
+    epoch, a process hears exactly its block (which always contains itself).
 
     From *heal_from* on (if given) the partition heals and communication is
     fault free.  This is the round-level shape of the partition-heavy,
@@ -189,39 +206,51 @@ class RotatingPartitionOracle(MaskOracleBase):
         self.period = period
         self.churn = churn
         self.heal_from = heal_from
-        self._stream = oracle_rng(seed, rng).stream("oracle.partition")
+        self._ctr = oracle_rng(seed, rng).counter_stream("oracle.partition")
         #: the most recent epoch's per-process block assignment -- churn only
         #: needs the previous epoch, so earlier assignments are not retained.
         self._last_assignment: Optional[List[int]] = None
         #: index of the next epoch to be drawn; epochs are computed in order
-        #: so that draws are reproducible regardless of query order.
+        #: because each assignment chains on the previous one.
         self._next_epoch = 0
         #: epoch -> per-process block mask, precomputed once per epoch so
         #: that ho_mask is a lookup (the bitmask hot path); bounded to the
         #: most recent epochs.
         self._epoch_masks = _BoundedMemo(_retention(retain_rounds), "partition epoch")
 
+    def counter_batch_signature(self) -> Tuple[Any, ...]:
+        """The construction state a batch dual must see shared by all replicas."""
+        return (
+            "rotating-partition",
+            self.n,
+            self.blocks,
+            self.period,
+            self.churn,
+            self.heal_from,
+        )
+
     def _masks_for_epoch(self, epoch: int) -> List[int]:
         masks = self._epoch_masks.get(epoch)
         if masks is not None:
             return masks
         while self._next_epoch <= epoch:
-            stream = self._stream
+            e = self._next_epoch
+            ctr = self._ctr
             if self._last_assignment is None:
-                assignment = [stream.randrange(self.blocks) for _ in range(self.n)]
+                assignment = [ctr.mod(self.blocks, 1, e, q) for q in range(self.n)]
             else:
                 previous = self._last_assignment
                 assignment = [
-                    stream.randrange(self.blocks) if stream.random() < self.churn else block
-                    for block in previous
+                    ctr.mod(self.blocks, 1, e, q)
+                    if ctr.unit(0, e, q) < self.churn
+                    else previous[q]
+                    for q in range(self.n)
                 ]
             self._last_assignment = assignment
             block_masks = [0] * self.blocks
             for q, block in enumerate(assignment):
                 block_masks[block] |= 1 << q
-            self._epoch_masks.put(
-                self._next_epoch, [block_masks[block] for block in assignment]
-            )
+            self._epoch_masks.put(e, [block_masks[block] for block in assignment])
             self._next_epoch += 1
         return self._epoch_masks.get(epoch)
 
@@ -242,10 +271,12 @@ class BurstyLossOracle(MaskOracleBase):
     *p_recover* -- so the expected burst length is ``1 / p_recover`` rounds,
     and losses cluster the way interference and congestion actually behave.
 
-    All draws come from the ``oracle.burst`` sub-stream; link states advance
-    round by round in a fixed order, so any query order replays identically.
-    From *stable_from* on (if given) all links are forced good and lossless.
-    Receivers always hear themselves.
+    Draws are counter-based on the ``oracle.burst`` stream: the state
+    transition of link ``q -> p`` in round ``r`` consumes
+    ``unit(0, r, p, q)``, the loss coin ``unit(1, r, p, q)``; link states
+    still advance round by round (the Markov chain is a recurrence), so any
+    query order replays identically.  From *stable_from* on (if given) all
+    links are forced good and lossless.  Receivers always hear themselves.
     """
 
     def __init__(
@@ -274,7 +305,7 @@ class BurstyLossOracle(MaskOracleBase):
         self.loss_burst = loss_burst
         self.loss_good = loss_good
         self.stable_from = stable_from
-        self._stream = oracle_rng(seed, rng).stream("oracle.burst")
+        self._ctr = oracle_rng(seed, rng).counter_stream("oracle.burst")
         #: bursty-link masks per receiver, advanced one round at a time:
         #: ``_burst_state[p]`` has bit q set iff link q -> p is in a burst.
         self._burst_state: List[int] = [0] * n
@@ -283,25 +314,40 @@ class BurstyLossOracle(MaskOracleBase):
             _retention(retain_rounds) * n, "bursty-loss (round, process)"
         )
 
+    def counter_batch_signature(self) -> Tuple[Any, ...]:
+        """The construction state a batch dual must see shared by all replicas."""
+        return (
+            "bursty-loss",
+            self.n,
+            self.p_burst,
+            self.p_recover,
+            self.loss_burst,
+            self.loss_good,
+            self.stable_from,
+        )
+
     def _advance_to(self, round: Round) -> None:
         while self._computed_round < round:
             self._computed_round += 1
             current = self._computed_round
-            stream = self._stream
+            ctr = self._ctr
             for p in range(self.n):
                 state = self._burst_state[p]
                 new_state = 0
                 heard = 0
                 bit = 1
                 for q in range(self.n):
+                    u = ctr.unit(0, current, p, q)
                     if state & bit:
-                        bursty = stream.random() >= self.p_recover
+                        bursty = u >= self.p_recover
                     else:
-                        bursty = stream.random() < self.p_burst
+                        bursty = u < self.p_burst
                     if bursty:
                         new_state |= bit
                     loss = self.loss_burst if bursty else self.loss_good
-                    if q == p or stream.random() >= loss:
+                    # Skipping the loss coin when it cannot lose is safe:
+                    # counter draws have no cursor to shift.
+                    if q == p or loss <= 0.0 or ctr.unit(1, current, p, q) >= loss:
                         heard |= bit
                     bit <<= 1
                 self._burst_state[p] = new_state
@@ -319,10 +365,12 @@ class BurstyLossOracle(MaskOracleBase):
 class EventuallyStableCoordinatorOracle(MaskOracleBase):
     """A coordinator that keeps changing until the system stabilises.
 
-    Before *stable_from*, each round has a *pretender* coordinator drawn
-    from the ``oracle.coordinator`` sub-stream; every process hears the
-    pretender with probability ``1 - flaky_probability``, itself always, and
-    each other process with probability *background_probability* -- the
+    Before *stable_from*, each round has a *pretender* coordinator (the
+    counter draw ``(0, round)`` on the ``oracle.coordinator`` stream,
+    modulo n); every process hears the pretender with probability
+    ``1 - flaky_probability`` (the flakiness coin ``unit(1, round, p)``),
+    itself always, and each other process q with probability
+    *background_probability* (the coin ``unit(2, round, p, q)``) -- the
     round-level shape of an unreliable leader-election phase.  From
     *stable_from* on, communication is fault free (and :meth:`coordinator`
     reports the fixed *stable_coordinator*), which is exactly the
@@ -356,10 +404,21 @@ class EventuallyStableCoordinatorOracle(MaskOracleBase):
         self.stable_coordinator = stable_coordinator
         self.flaky_probability = flaky_probability
         self.background_probability = background_probability
-        self._stream = oracle_rng(seed, rng).stream("oracle.coordinator")
+        self._ctr = oracle_rng(seed, rng).counter_stream("oracle.coordinator")
         retain = _retention(retain_rounds)
         self._pretenders = _BoundedMemo(retain, "coordinator round")
         self._memo = _BoundedMemo(retain * n, "coordinator (round, process)")
+
+    def counter_batch_signature(self) -> Tuple[Any, ...]:
+        """The construction state a batch dual must see shared by all replicas."""
+        return (
+            "eventually-stable-coordinator",
+            self.n,
+            self.stable_from,
+            self.stable_coordinator,
+            self.flaky_probability,
+            self.background_probability,
+        )
 
     def coordinator(self, round: Round) -> ProcessId:
         """The coordinator of *round*: the pretender before stabilisation, fixed after."""
@@ -367,7 +426,7 @@ class EventuallyStableCoordinatorOracle(MaskOracleBase):
             return self.stable_coordinator
         pretender = self._pretenders.get(round)
         if pretender is None:
-            pretender = self._stream.randrange(self.n)
+            pretender = self._ctr.mod(self.n, 0, round)
             self._pretenders.put(round, pretender)
         return pretender
 
@@ -378,8 +437,14 @@ class EventuallyStableCoordinatorOracle(MaskOracleBase):
         mask = self._memo.get(key)
         if mask is None:
             pretender = self.coordinator(round)
-            mask = bernoulli_mask(self._stream, self.n, self.background_probability)
-            if self._stream.random() >= self.flaky_probability:
+            ctr = self._ctr
+            mask = 0
+            bit = 1
+            for q in range(self.n):
+                if ctr.unit(2, round, process, q) < self.background_probability:
+                    mask |= bit
+                bit <<= 1
+            if ctr.unit(1, round, process) >= self.flaky_probability:
                 mask |= 1 << pretender
             else:
                 mask &= ~(1 << pretender)

@@ -94,7 +94,12 @@ class BatchKernel(abc.ABC):
     #: the scalar algorithm class this kernel is the dual of.
     algorithm_class: Type[Any]
 
-    def __init__(self, n: int, initial_values: Sequence[Sequence[Any]]) -> None:
+    def __init__(
+        self,
+        n: int,
+        initial_values: Sequence[Sequence[Any]],
+        row_n: Optional[Sequence[int]] = None,
+    ) -> None:
         np = require_numpy()
         if n <= 0:
             raise ValueError(f"number of processes must be positive, got {n}")
@@ -103,6 +108,21 @@ class BatchKernel(abc.ABC):
         self.replicas = len(initial_values)
         if self.replicas == 0:
             raise ValueError("at least one replica is required")
+        if row_n is None:
+            self.row_n = None
+        else:
+            # Mixed-n super-batches: row r simulates row_n[r] <= n real
+            # processes; columns above row_n[r] are padding.  Padded
+            # receivers must be fed empty heard-rows (they then never pass
+            # an update gate), and n-relative thresholds use the row's n.
+            if len(row_n) != self.replicas:
+                raise ValueError(
+                    f"expected {self.replicas} row sizes, got {len(row_n)}"
+                )
+            for size in row_n:
+                if not 1 <= size <= n:
+                    raise ValueError(f"row size {size} outside 1..{n}")
+            self.row_n = np.array(row_n, dtype=np.int32)
         tables: List[List[Any]] = []
         codes: List[List[int]] = []
         for values in initial_values:
@@ -137,6 +157,36 @@ class BatchKernel(abc.ABC):
         fresh = fire & (self.decision_code < 0)
         self.decision_code = np.where(fresh, value_codes, self.decision_code)
         self.decision_round = np.where(fresh, round, self.decision_round)
+
+    def _row_sizes(self) -> Any:
+        """Per-row process count as an ``(R, 1)`` column (scalar when uniform)."""
+        if self.row_n is None:
+            return self.np.int32(self.n)
+        return self.row_n[:, None]
+
+    # ------------------------------------------------------------------ #
+    # row compaction (the super-batch engine retires decided rows)
+    # ------------------------------------------------------------------ #
+
+    def _state_array_names(self) -> List[str]:
+        """The per-row state arrays a :meth:`compact` must gather."""
+        return ["x", "decision_code", "decision_round"]
+
+    def compact(self, keep: Any) -> None:
+        """Keep only the rows indexed by *keep* (ascending), in that order.
+
+        The super-batch engine retires rows as their replicas decide;
+        compaction gathers every per-row state array so the lockstep step
+        touches only live rows.  Callers own the old-index -> new-index
+        mapping.
+        """
+        keep = self.np.asarray(keep, dtype=self.np.int64)
+        for name in self._state_array_names():
+            setattr(self, name, getattr(self, name)[keep])
+        self.tables = [self.tables[int(i)] for i in keep]
+        if self.row_n is not None:
+            self.row_n = self.row_n[keep]
+        self.replicas = len(self.tables)
 
     # ------------------------------------------------------------------ #
     # engine-facing queries
@@ -209,8 +259,9 @@ class BatchOneThirdRule(BatchKernel):
         np = self.np
         n = self.n
         x = self.x
+        n_col = self._row_sizes()                                   # row's n
         hc = heard.sum(axis=2, dtype=np.int32)                      # (R, n)
-        act = active[:, None] & (3 * hc > 2 * n)                    # update gate
+        act = active[:, None] & (3 * hc > 2 * n_col)                # update gate
 
         # Multiplicity of every value code among heard senders, via one
         # batched matmul: counts[r, p, v] = |{q in HO(p) : x_q = v}|.
@@ -226,12 +277,12 @@ class BatchOneThirdRule(BatchKernel):
         )
         winner = self._first_heard_code(heard & (counts_by_sender == top[:, :, None]))
 
-        adopt_top = (hc - top_i) <= n // 3
+        adopt_top = (hc - top_i) <= n_col // 3
         new_x = np.where(adopt_top, winner, self._min_heard_code(heard))
         self.x = np.where(act, new_x, x)
 
         # A value with multiplicity > 2n/3 is unique, and is the top value.
-        self._record_decisions(round, act & (3 * top_i > 2 * n), winner)
+        self._record_decisions(round, act & (3 * top_i > 2 * n_col), winner)
 
 
 class BatchUniformVoting(BatchKernel):
@@ -239,10 +290,18 @@ class BatchUniformVoting(BatchKernel):
 
     algorithm_class = UniformVoting
 
-    def __init__(self, n: int, initial_values: Sequence[Sequence[Any]]) -> None:
-        super().__init__(n, initial_values)
+    def __init__(
+        self,
+        n: int,
+        initial_values: Sequence[Sequence[Any]],
+        row_n: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(n, initial_values, row_n)
         #: (R, n) int32 -- current-phase vote codes, -1 for None.
         self.vote = self.np.full((self.replicas, n), -1, dtype=self.np.int32)
+
+    def _state_array_names(self) -> List[str]:
+        return super()._state_array_names() + ["vote"]
 
     def step(self, round: int, heard: Any, active: Any) -> None:
         np = self.np
@@ -280,8 +339,13 @@ class BatchLastVoting(BatchKernel):
 
     ROUNDS_PER_PHASE = LastVoting.ROUNDS_PER_PHASE
 
-    def __init__(self, n: int, initial_values: Sequence[Sequence[Any]]) -> None:
-        super().__init__(n, initial_values)
+    def __init__(
+        self,
+        n: int,
+        initial_values: Sequence[Sequence[Any]],
+        row_n: Optional[Sequence[int]] = None,
+    ) -> None:
+        super().__init__(n, initial_values, row_n)
         np = self.np
         shape = (self.replicas, n)
         self.timestamp = np.zeros(shape, dtype=np.int32)
@@ -301,20 +365,46 @@ class BatchLastVoting(BatchKernel):
         self.rank_of_code = rank_of_code
         self.code_at_rank = code_at_rank
 
+    def _state_array_names(self) -> List[str]:
+        return super()._state_array_names() + [
+            "timestamp",
+            "vote",
+            "commit",
+            "ready",
+            "rank_of_code",
+            "code_at_rank",
+        ]
+
+    def _gather(self, array: Any, coord: Any) -> Any:
+        """``array[r, coord[r]]`` as an ``(R,)`` vector."""
+        return self.np.take_along_axis(array, coord[:, None], axis=1)[:, 0]
+
+    def _scatter(self, array: Any, coord: Any, values: Any) -> None:
+        """``array[r, coord[r]] = values[r]`` in place."""
+        self.np.put_along_axis(array, coord[:, None], values[:, None], axis=1)
+
     def step(self, round: int, heard: Any, active: Any) -> None:
         np = self.np
         n = self.n
         phase = (round - 1) // self.ROUNDS_PER_PHASE + 1
         step = (round - 1) % self.ROUNDS_PER_PHASE + 1
-        coord = (phase - 1) % n
-        heard_by_coord = heard[:, coord, :]                          # (R, n)
-        hears_coord = heard[:, :, coord]                             # (R, n)
+        # The phase coordinator is n-relative, hence per row in a mixed-n
+        # batch: row r's coordinator is (phase - 1) % row_n[r].
+        if self.row_n is None:
+            coord = np.full(self.replicas, (phase - 1) % n, dtype=np.int32)
+            n_row = np.int32(n)
+        else:
+            coord = ((phase - 1) % self.row_n).astype(np.int32)
+            n_row = self.row_n
+        idx = coord[:, None, None]
+        heard_by_coord = np.take_along_axis(heard, idx, axis=1)[:, 0, :]  # (R, n)
+        hears_coord = np.take_along_axis(heard, idx, axis=2)[:, :, 0]     # (R, n)
 
         if step == 1:
             # Coordinator selects the best-timestamped estimate from a
             # majority, smallest by repr among ties.
             hc = heard_by_coord.sum(axis=1, dtype=np.int32)
-            upd = active & (2 * hc > n)
+            upd = active & (2 * hc > n_row)
             best_ts = np.where(heard_by_coord, self.timestamp, np.int32(-1)).max(axis=1)
             eligible = heard_by_coord & (self.timestamp == best_ts[:, None])
             rank_x = np.take_along_axis(self.rank_of_code, self.x, axis=1)
@@ -323,26 +413,32 @@ class BatchLastVoting(BatchKernel):
             selected = np.take_along_axis(
                 self.code_at_rank, best_rank[:, None], axis=1
             )[:, 0]
-            self.vote[:, coord] = np.where(upd, selected, self.vote[:, coord])
-            self.commit[:, coord] |= upd
+            vote_coord = self._gather(self.vote, coord)
+            self._scatter(self.vote, coord, np.where(upd, selected, vote_coord))
+            self._scatter(self.commit, coord, self._gather(self.commit, coord) | upd)
             return
 
         if step == 2:
             # Everyone who hears a committed coordinator adopts its vote.
-            upd = active[:, None] & hears_coord & self.commit[:, coord][:, None]
-            self.x = np.where(upd, self.vote[:, coord][:, None], self.x)
+            commit_coord = self._gather(self.commit, coord)
+            vote_coord = self._gather(self.vote, coord)
+            upd = active[:, None] & hears_coord & commit_coord[:, None]
+            self.x = np.where(upd, vote_coord[:, None], self.x)
             self.timestamp = np.where(upd, np.int32(phase), self.timestamp)
             return
 
         if step == 3:
             # Coordinator counts acks (current-phase timestamps) for a majority.
             acks = (heard_by_coord & (self.timestamp == phase)).sum(axis=1, dtype=np.int32)
-            self.ready[:, coord] |= active & (2 * acks > n)
+            ready = active & (2 * acks > n_row)
+            self._scatter(self.ready, coord, self._gather(self.ready, coord) | ready)
             return
 
         # Step 4: decide on a heard "decide"; the phase flags always reset.
-        fire = active[:, None] & hears_coord & self.ready[:, coord][:, None]
-        self._record_decisions(round, fire, self.vote[:, coord][:, None])
+        ready_coord = self._gather(self.ready, coord)
+        vote_coord = self._gather(self.vote, coord)
+        fire = active[:, None] & hears_coord & ready_coord[:, None]
+        self._record_decisions(round, fire, vote_coord[:, None])
         act = active[:, None]
         self.commit &= ~act
         self.ready &= ~act

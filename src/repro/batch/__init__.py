@@ -17,7 +17,12 @@ monitors) -- the :class:`~repro.batch.backends.BatchBackend` transparently
 runs the scalar reference loop instead, so the import graph and the
 behaviour stay identical either way.
 
-Importing this package registers the ``batch`` backend with
+The cross-cell :class:`~repro.batch.super.SuperBatchBackend` goes one axis
+further: it packs B heterogeneous sweep cells -- different n, horizons,
+fault models -- into one padded row space and steps the whole grid in a
+single lockstep loop, retiring and compacting rows as replicas decide.
+
+Importing this package registers the ``batch`` and ``super`` backends with
 :mod:`repro.rounds.backend`; :func:`repro.rounds.backend.get_backend` does
 that import lazily.
 """
@@ -35,6 +40,7 @@ from ..rounds.backend import (
 )
 from .backends import BatchBackend
 from .engine import BatchEngine
+from .super import SuperBatchBackend
 
 __all__ = [
     "AUTO_BACKEND",
@@ -46,6 +52,7 @@ __all__ = [
     "ScalarBackend",
     "BatchBackend",
     "BatchEngine",
+    "SuperBatchBackend",
     "backend_names",
     "get_backend",
 ]

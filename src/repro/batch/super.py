@@ -1,0 +1,298 @@
+"""The cross-cell super-batch engine: the whole grid as one lockstep unit.
+
+:class:`~repro.batch.backends.BatchBackend` vectorises the R replicas of
+*one* sweep cell; the grid axis -- (scenario, fault model, n, seed-count)
+cells -- remains a Python loop, and small-n cells leave most of the array
+width idle.  :class:`SuperBatchBackend` packs B heterogeneous cells into a
+single padded row space instead:
+
+* estimates live in one ``(sum(R_b), n_max)`` code array (the batch
+  kernels' mixed-``row_n`` mode: columns above a row's own n are padding
+  that never passes an update gate);
+* heard-of sets live in one ``(sum(R_b), n_max, ceil(n_max/64))`` uint64
+  word buffer, each cell's oracle scattering its ``(R_b, n_b, W_b)`` block
+  into the top-left corner of its rows;
+* one lockstep loop steps *all* rows each round, retiring rows as their
+  replicas decide (or hit their horizon) and compacting the kernel when
+  occupancy drops below :data:`COMPACT_THRESHOLD`.
+
+Heterogeneous horizons, scopes and fault models coexist because every
+per-row quantity -- n, horizon, scope mask, full-horizon flag -- is a row
+vector, and the counter-based oracle duals (:mod:`repro.adversaries.
+counter_batch`) need no per-replica query loop.  Cells the super engine
+cannot take whole-grid (monitored or fingerprinted runs, unencodable
+values, no kernel) fall back to the per-cell batch backend -- the same
+outcomes, cell by cell; ``last_fallback_reasons`` records which and why.
+
+The contract is unchanged: per seed, outcomes are bit-identical to the
+scalar reference backend (and hence to the per-cell batch backend).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .._optional import have_numpy, require_numpy
+from ..rounds.backend import (
+    ReplicaBatch,
+    ReplicaOutcome,
+    register_backend,
+)
+from ..rounds.bitmask import iter_bits, word_count
+from .arrays import popcount_words, unpack_words
+from .backends import BatchBackend
+
+#: Compact the kernel when live rows drop below this fraction of its rows.
+COMPACT_THRESHOLD = 0.5
+#: ... but only when at least this many rows would be dropped (anti-thrash).
+COMPACT_MIN_DROP = 32
+
+
+class SuperBatchBackend:
+    """Cross-cell lockstep execution: many ReplicaBatches, one round loop."""
+
+    name = "super"
+
+    def __init__(self, force_fallback: bool = False) -> None:
+        self.force_fallback = force_fallback
+        self._cell_backend = BatchBackend()
+        #: why the last single-batch ``run`` left the super path (None = it
+        #: super-batched).  Mirrors ``BatchBackend.last_fallback_reason``.
+        self.last_fallback_reason: Optional[str] = None
+        #: per input index of the last ``run_batches``: the fallback reason
+        #: of every cell that took the per-cell batch path.
+        self.last_fallback_reasons: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # entry points
+    # ------------------------------------------------------------------ #
+
+    def run(self, batch: ReplicaBatch) -> List[ReplicaOutcome]:
+        return self.run_batches([batch])[0]
+
+    def run_batches(
+        self, batches: Sequence[ReplicaBatch]
+    ) -> List[List[ReplicaOutcome]]:
+        """Execute every batch, super-batching all eligible cells together.
+
+        Returns one outcome list per input batch, in input order; each list
+        is in task order, exactly as the per-cell backends return it.
+        """
+        self.last_fallback_reasons = {}
+        results: List[Optional[List[ReplicaOutcome]]] = [None] * len(batches)
+        groups: Dict[Any, List[int]] = {}
+        for i, batch in enumerate(batches):
+            reason, kernel_class = self._eligibility(batch)
+            if reason is not None:
+                self.last_fallback_reasons[i] = reason
+                results[i] = self._cell_backend.run(batch)
+            else:
+                groups.setdefault(kernel_class, []).append(i)
+        for kernel_class, indices in groups.items():
+            outcomes = _SuperBatchEngine(
+                kernel_class, [batches[i] for i in indices]
+            ).run()
+            for i, cell_outcomes in zip(indices, outcomes):
+                results[i] = cell_outcomes
+        self.last_fallback_reason = self.last_fallback_reasons.get(0) if batches else None
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------ #
+    # the super-batch eligibility decision
+    # ------------------------------------------------------------------ #
+
+    def _eligibility(self, batch: ReplicaBatch) -> Tuple[Optional[str], Any]:
+        if self.force_fallback:
+            return "forced", None
+        if not have_numpy():
+            return "numpy unavailable (install the 'fast' extra)", None
+        from ..algorithms.batched import (
+            BatchUnsupported,
+            batch_kernel_for,
+            encode_values,
+        )
+
+        if any(task.algorithm.n != batch.n for task in batch.tasks):
+            return "algorithm size does not match the batch", None
+        algorithm_classes = {type(task.algorithm) for task in batch.tasks}
+        if len(algorithm_classes) != 1:
+            return (
+                f"mixed algorithm classes: {sorted(c.__name__ for c in algorithm_classes)}",
+                None,
+            )
+        kernel_class = batch_kernel_for(batch.tasks[0].algorithm)
+        if kernel_class is None:
+            return (
+                f"no batched kernel for {batch.tasks[0].algorithm.__class__.__name__}",
+                None,
+            )
+        if batch.monitor_factory is not None or batch.monitor_spec is not None:
+            # Monitors are per-cell constructs (their arrays are sized to
+            # the cell); monitored cells keep the per-cell batch path.
+            return "monitored runs take the per-cell batch path", None
+        if batch.fingerprints:
+            return "fingerprinted runs take the per-cell batch path", None
+        try:
+            for task in batch.tasks:
+                encode_values(list(task.initial_values))
+        except BatchUnsupported as exc:
+            return str(exc), None
+        return None, kernel_class
+
+
+class _SuperBatchEngine:
+    """One padded row space for every replica of a group of cells."""
+
+    def __init__(self, kernel_class: Any, batches: Sequence[ReplicaBatch]) -> None:
+        np = require_numpy()
+        self.np = np
+        self.batches = list(batches)
+        self.n_max = max(batch.n for batch in self.batches)
+        self.w_max = word_count(self.n_max)
+
+        from ..adversaries.batch import vectorize_oracles
+
+        rows = sum(batch.replicas for batch in self.batches)
+        self.rows = rows
+        n_max = self.n_max
+        padded_values: List[List[Any]] = []
+        row_n: List[int] = []
+        row_cell = np.empty(rows, dtype=np.int64)
+        row_replica = np.empty(rows, dtype=np.int64)
+        horizon = np.empty(rows, dtype=np.int64)
+        full_horizon = np.empty(rows, dtype=bool)
+        scope = np.zeros((rows, n_max), dtype=bool)
+        self.oracles: List[Any] = []
+        row = 0
+        for ci, batch in enumerate(self.batches):
+            scope_processes = list(iter_bits(batch.effective_scope_mask))
+            for ri, task in enumerate(batch.tasks):
+                values = list(task.initial_values)
+                # Padding duplicates the first value: the code table is a
+                # set, so the extra columns change nothing, and padded
+                # receivers never hear anyone so they never act on it.
+                values.extend(values[:1] * (n_max - batch.n))
+                padded_values.append(values)
+                row_n.append(batch.n)
+                row_cell[row] = ci
+                row_replica[row] = ri
+                horizon[row] = batch.max_rounds
+                full_horizon[row] = batch.run_full_horizon
+                scope[row, scope_processes] = True
+                row += 1
+            self.oracles.append(
+                vectorize_oracles([task.oracle for task in batch.tasks], batch.replicas)
+            )
+        self.kernel = kernel_class(n_max, padded_values, row_n=row_n)
+        self.row_cell = row_cell
+        self.row_replica = row_replica
+        self.horizon = horizon
+        self.full_horizon = full_horizon
+        self.scope = scope
+        self.row_sq = np.array(row_n, dtype=np.int64) ** 2
+
+        # Full-length, original-indexed accounting; rows retire, these stay.
+        self.rounds_executed = np.zeros(rows, dtype=np.int64)
+        self.messages_sent = np.zeros(rows, dtype=np.int64)
+        self.messages_delivered = np.zeros(rows, dtype=np.int64)
+        self._decisions: List[Optional[Tuple[Dict[int, Any], Dict[int, int]]]] = [
+            None
+        ] * rows
+
+    def run(self) -> List[List[ReplicaOutcome]]:
+        np = self.np
+        kernel = self.kernel
+        n_max = self.n_max
+        # orig_of maps the kernel's current row order to original row ids;
+        # it shrinks in lockstep with every compaction.
+        orig_of = np.arange(self.rows, dtype=np.int64)
+        buffer = np.zeros((self.rows, n_max, self.w_max), dtype=np.uint64)
+
+        round = 0
+        while True:
+            # A row runs the next round while it is inside its horizon and
+            # (unless running the full horizon) its scope has not decided --
+            # the same between-round poll as the per-cell loops.
+            scope_live = self.scope[orig_of]
+            scope_done = ((kernel.decision_code >= 0) | ~scope_live).all(axis=1)
+            alive = (round < self.horizon[orig_of]) & (
+                self.full_horizon[orig_of] | ~scope_done
+            )
+            live = int(alive.sum())
+            if live == 0:
+                self._retire(kernel, orig_of, np.ones(len(orig_of), dtype=bool))
+                break
+            dead = len(orig_of) - live
+            if dead >= COMPACT_MIN_DROP and live < COMPACT_THRESHOLD * len(orig_of):
+                self._retire(kernel, orig_of, ~alive)
+                keep = np.nonzero(alive)[0]
+                kernel.compact(keep)
+                orig_of = orig_of[keep]
+                buffer = np.zeros((live, n_max, self.w_max), dtype=np.uint64)
+                alive = np.ones(live, dtype=bool)
+
+            round += 1
+            cell_of_live = self.row_cell[orig_of]
+            for ci, batch in enumerate(self.batches):
+                positions = np.nonzero(cell_of_live == ci)[0]
+                if positions.size == 0:
+                    continue
+                replica_idx = self.row_replica[orig_of[positions]]
+                cell_active = np.zeros(batch.replicas, dtype=bool)
+                cell_active[replica_idx] = alive[positions]
+                words = self.oracles[ci].round_masks(round, cell_active)
+                w_c = words.shape[-1]
+                buffer[positions, : batch.n, :w_c] = words[replica_idx]
+
+            heard = unpack_words(buffer, n_max)
+            kernel.step(round, heard, alive)
+            updated = orig_of[alive]
+            self.rounds_executed[updated] = round
+            self.messages_sent[updated] += self.row_sq[updated]
+            delivered = popcount_words(buffer).sum(axis=1)
+            self.messages_delivered[updated] += delivered[alive]
+
+        return self._collect()
+
+    def _retire(self, kernel: Any, orig_of: Any, done: Any) -> None:
+        """Read the decisions of rows leaving the kernel (pre-compaction)."""
+        for pos in self.np.nonzero(done)[0]:
+            self._decisions[int(orig_of[pos])] = kernel.decisions_of(int(pos))
+
+    def _collect(self) -> List[List[ReplicaOutcome]]:
+        outcomes: List[List[ReplicaOutcome]] = []
+        row = 0
+        for batch in self.batches:
+            cell: List[ReplicaOutcome] = []
+            for task in batch.tasks:
+                decided = self._decisions[row]
+                assert decided is not None
+                decisions, decision_rounds = decided
+                # Padded processes never decide, but clamp to the cell's own
+                # process range for safety.
+                decisions = {p: v for p, v in decisions.items() if p < batch.n}
+                decision_rounds = {
+                    p: r for p, r in decision_rounds.items() if p < batch.n
+                }
+                cell.append(
+                    ReplicaOutcome(
+                        seed=task.seed,
+                        decisions=decisions,
+                        decision_rounds=decision_rounds,
+                        rounds_executed=int(self.rounds_executed[row]),
+                        messages_sent=int(self.messages_sent[row]),
+                        messages_delivered=int(self.messages_delivered[row]),
+                        stopped_early=False,
+                        predicate_reports=None,
+                        fingerprint=None,
+                    )
+                )
+                row += 1
+            outcomes.append(cell)
+        return outcomes
+
+
+register_backend(SuperBatchBackend())
+
+
+__all__ = ["SuperBatchBackend", "COMPACT_THRESHOLD", "COMPACT_MIN_DROP"]

@@ -16,6 +16,7 @@ policy layers over this package:
 """
 
 from .core import EngineCore
+from .counter import CounterStream, counter_hash, unit_of
 from .faults import (
     CrashRecoveryInjector,
     FaultEvent,
@@ -33,6 +34,9 @@ __all__ = [
     "TraceRecorder",
     "SeededRng",
     "derive_seed",
+    "CounterStream",
+    "counter_hash",
+    "unit_of",
     "FaultKind",
     "FaultEvent",
     "FaultSchedule",

@@ -23,6 +23,8 @@ import hashlib
 import random
 from typing import Dict, Iterator, Tuple
 
+from .counter import CounterStream
+
 
 def derive_seed(seed: int, name: str) -> int:
     """A stable 64-bit sub-seed for stream *name* under master *seed*."""
@@ -46,6 +48,19 @@ class SeededRng:
             stream = random.Random(derive_seed(self.seed, name))
             self._streams[name] = stream
         return stream
+
+    def counter_stream(self, name: str) -> CounterStream:
+        """The counter-based stream *name*: stateless, order-independent draws.
+
+        Unlike :meth:`stream`, the returned :class:`~repro.engine.counter.
+        CounterStream` carries no cursor -- every draw is a pure function of
+        the derived key and the caller's counter tuple, so scalar and
+        vectorised consumers of the same ``(seed, name)`` pair are
+        bit-identical by construction.  The key derivation is the same
+        :func:`derive_seed` the sequential streams use, so isolation between
+        names and the :meth:`replicate` contract are preserved.
+        """
+        return CounterStream(derive_seed(self.seed, name))
 
     def spawn(self, name: str) -> "SeededRng":
         """A derived :class:`SeededRng` whose streams are independent of this one."""

@@ -7,7 +7,7 @@ heard-of-oracle scenario, executed under R seeds, then aggregated.  An
 :class:`ReplicaBatch` of R seeded replicas of one lockstep scenario -- and
 returns one :class:`ReplicaOutcome` per replica.
 
-Two backends ship:
+Three backends ship:
 
 * ``scalar`` -- :class:`ScalarBackend`, defined here: the reference
   implementation, looping the replicas one by one through the ordinary
@@ -20,6 +20,11 @@ Two backends ship:
   falling back to the scalar loop per cell whenever vectorisation cannot
   engage (no numpy, no batched kernel for the algorithm, unencodable
   values).
+* ``super`` -- :class:`repro.batch.super.SuperBatchBackend`: packs *many*
+  heterogeneous batches (different n, horizons, fault models) into one
+  padded row space and steps the whole grid in a single lockstep loop,
+  retiring rows as replicas decide; ineligible cells (monitored,
+  fingerprinted, unencodable) take the per-cell batch path instead.
 
 The *contract* between backends is replica determinism: for every seed in
 the batch, a backend must produce exactly the decisions, decision rounds,
@@ -153,6 +158,23 @@ class ReplicaOutcome:
 
     def last_decision_round(self) -> Optional[Round]:
         return max(self.decision_rounds.values()) if self.decision_rounds else None
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """One sweep cell prepared for execution, decoupled from *who* executes it.
+
+    A scenario's batch *builder* returns the fully built
+    :class:`ReplicaBatch` plus the ``finalize`` callable that flattens the
+    backend's outcomes into the scenario's wire records.  The per-cell path
+    runs ``finalize(get_backend(name).run(batch))``; the super-batch path
+    collects many plans, hands all their batches to
+    :meth:`repro.batch.super.SuperBatchBackend.run_batches` in one call,
+    and finalizes each cell from the grid-wide result.
+    """
+
+    batch: ReplicaBatch
+    finalize: Callable[[List[ReplicaOutcome]], Any]
 
 
 @runtime_checkable
@@ -369,6 +391,7 @@ register_backend(ScalarBackend())
 
 __all__ = [
     "AUTO_BACKEND",
+    "CellPlan",
     "MonitorSpec",
     "ReplicaTask",
     "ReplicaBatch",

@@ -118,8 +118,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default="auto",
         help="execution backend for batched cells: 'auto'/'batch' = the "
         "vectorized lockstep-replica engine (numpy when available, with an "
-        "automatic per-cell scalar fallback), 'scalar' = the reference loop "
-        "(default: auto; only meaningful with --replicas)",
+        "automatic per-cell scalar fallback), 'super' = pack the whole grid "
+        "into one cross-cell lockstep run (single process), 'scalar' = the "
+        "reference loop (default: auto; only meaningful with --replicas)",
     )
     parser.add_argument(
         "--workers",
@@ -200,6 +201,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.replicas is not None and args.replicas < 1:
         print(f"error: --replicas must be at least 1, got {args.replicas}", file=sys.stderr)
+        return 2
+
+    if args.backend == "super" and args.workers > 1:
+        print(
+            "error: --backend super is single-process by design (the whole "
+            "grid is one schedulable unit); drop --workers or use --backend batch",
+            file=sys.stderr,
+        )
         return 2
 
     if args.stop_after_held is not None and not args.predicates:

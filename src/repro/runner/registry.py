@@ -34,6 +34,7 @@ class TaskRegistry:
         self._fault_models: Dict[str, None] = {}
         self._monitorable: Dict[str, bool] = {}
         self._batch_runners: Dict[str, Callable] = {}
+        self._batch_builders: Dict[str, Callable] = {}
         self._populated = False
 
     # -- registration -------------------------------------------------- #
@@ -45,6 +46,7 @@ class TaskRegistry:
         *,
         monitorable: bool = False,
         batch_runner: Optional[Callable] = None,
+        batch_builder: Optional[Callable] = None,
     ) -> Callable:
         """Register scenario *name*; returns *fn* so it can be used as a decorator.
 
@@ -58,11 +60,21 @@ class TaskRegistry:
         returning one flat per-replica outcome dict per seed, bit-identical
         to running the scalar scenario once per seed.  The sweep executor
         routes ``replicas=`` cells through it instead of R scalar runs.
+
+        *batch_builder* additionally exposes the cell's construction as
+        data: a callable ``fn(fault_model, n=..., seeds=[...], **params)``
+        returning a :class:`~repro.rounds.backend.CellPlan` (the built
+        :class:`~repro.rounds.backend.ReplicaBatch` plus the outcome
+        flattener).  The super-batch sweep path uses it to pack *all* cells
+        of a grid into one cross-cell engine run instead of executing them
+        cell by cell.
         """
         self._scenarios[name] = fn
         self._monitorable[name] = monitorable
         if batch_runner is not None:
             self._batch_runners[name] = batch_runner
+        if batch_builder is not None:
+            self._batch_builders[name] = batch_builder
         return fn
 
     def register_measurement(self, name: str, fn: Callable) -> Callable:
@@ -127,6 +139,11 @@ class TaskRegistry:
         """The scenarios with a registered batch runner (vectorisable cells)."""
         self._ensure_populated()
         return sorted(self._batch_runners)
+
+    def batch_builder(self, name: str) -> Optional[Callable]:
+        """The CellPlan builder of scenario *name*, or None (super-batch food)."""
+        self._ensure_populated()
+        return self._batch_builders.get(name)
 
     def _ensure_populated(self) -> None:
         """Import the workload modules whose import side-effect registers tasks.

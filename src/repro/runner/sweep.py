@@ -414,7 +414,10 @@ def _effective_backend(requested: str) -> str:
     reason = getattr(backend, "last_fallback_reason", None)
     if reason is None:
         return backend.name
-    return f"{backend.name}:scalar-fallback ({reason})"
+    # The super backend degrades to the per-cell *batch* path (which may
+    # still vectorise); the batch backend degrades to the scalar loop.
+    kind = "cell-fallback" if getattr(backend, "name", "") == "super" else "scalar-fallback"
+    return f"{backend.name}:{kind} ({reason})"
 
 
 def _execute_batch_cell(spec: RunSpec) -> RunRecord:
@@ -456,7 +459,18 @@ def _execute_batch_cell(spec: RunSpec) -> RunRecord:
             record = execute_run(replace(spec, seed=seed, replicas=None))
             outcomes.append(_replica_outcome_from_record(record))
     wall = time.perf_counter() - started
+    return _cell_record(spec, outcomes, used_backend, wall, error)
 
+
+def _cell_record(
+    spec: RunSpec,
+    outcomes: List[Dict[str, Any]],
+    used_backend: str,
+    wall: float,
+    error: Optional[str],
+) -> RunRecord:
+    """Assemble a batched cell's wire record from its per-replica outcomes."""
+    count = spec.replicas or 1
     ok = [outcome for outcome in outcomes if not outcome.get("error")]
     replicas_payload = {
         "count": count,
@@ -961,7 +975,68 @@ def _resolve_workers(workers: Optional[int], jobs: int) -> int:
 
 
 #: Execution-backend names a sweep accepts for batched cells.
-BACKEND_CHOICES = ("auto", "batch", "scalar")
+BACKEND_CHOICES = ("auto", "batch", "scalar", "super")
+
+
+def _execute_super_grid(
+    cells: Sequence[Tuple[int, RunSpec]],
+    emit: Callable[[RunRecord], None],
+    slots: List[Optional[RunRecord]],
+) -> List[Tuple[int, RunSpec]]:
+    """Run every cell with a registered builder as ONE cross-cell unit.
+
+    Builds a :class:`~repro.rounds.backend.CellPlan` per eligible cell,
+    hands all their batches to the super backend's ``run_batches`` in a
+    single call -- the whole grid becomes the schedulable unit -- and emits
+    one wire record per cell.  The grid's wall clock is split evenly across
+    its cells (per-cell timing is meaningless inside one lockstep loop).
+    Returns the cells that must take the ordinary per-cell path (no
+    builder, or the cross-cell run failed).
+    """
+    from ..rounds.backend import get_backend
+
+    leftover: List[Tuple[int, RunSpec]] = []
+    plans: List[Tuple[int, RunSpec, Any]] = []
+    started = time.perf_counter()
+    for index, spec in cells:
+        builder = REGISTRY.batch_builder(spec.scenario)
+        if builder is None:
+            leftover.append((index, spec))
+            continue
+        seeds = list(range(spec.seed, spec.seed + (spec.replicas or 1)))
+        try:
+            plan = builder(spec.fault_model, n=spec.n, seeds=seeds, **spec.kwargs)
+        except Exception as exc:  # noqa: BLE001 - a bad cell must not kill the grid
+            record = _cell_record(
+                spec, [], "super", 0.0, f"{type(exc).__name__}: {exc}"
+            )
+            emit(record)
+            slots[index] = record
+            continue
+        plans.append((index, spec, plan))
+    if not plans:
+        return leftover
+
+    backend = get_backend("super")
+    try:
+        results = backend.run_batches([plan.batch for _, _, plan in plans])
+    except Exception:  # noqa: BLE001 - degrade to the per-cell path wholesale
+        return leftover + [(index, spec) for index, spec, _ in plans]
+    per_cell_wall = (time.perf_counter() - started) / len(plans)
+    reasons = backend.last_fallback_reasons
+    for slot, (index, spec, plan) in enumerate(plans):
+        reason = reasons.get(slot)
+        used = "super" if reason is None else f"super:cell-fallback ({reason})"
+        error: Optional[str] = None
+        outcomes: List[Dict[str, Any]] = []
+        try:
+            outcomes = list(plan.finalize(results[slot]))
+        except Exception as exc:  # noqa: BLE001
+            error = f"{type(exc).__name__}: {exc}"
+        record = _cell_record(spec, outcomes, used, per_cell_wall, error)
+        emit(record)
+        slots[index] = record
+    return leftover
 
 
 def run_sweep(
@@ -991,6 +1066,15 @@ def run_sweep(
     every cell's record carries the per-replica outcomes next to the cell
     aggregates.  Specs that already carry ``replicas`` are left untouched.
 
+    ``backend="super"`` goes one step further: every cell whose scenario
+    registered a :class:`~repro.rounds.backend.CellPlan` builder is packed,
+    together with all the others, into ONE cross-cell lockstep engine run
+    -- the whole grid becomes the schedulable unit.  Super-batching is
+    single-process by design, so combining it with ``workers > 1`` raises
+    ``ValueError``; cells the grid path cannot take (no builder, monitored
+    or fingerprinted runs, numpy unavailable) fall back to the per-cell
+    batch machinery and are labelled ``super:cell-fallback (reason)``.
+
     *on_record* is invoked and every sink in *sinks* written as each run's
     record streams back (in completion order); sinks are closed when the
     sweep finishes, even on error.  *resume_from* names a JSONL file
@@ -1005,6 +1089,11 @@ def run_sweep(
     """
     if backend not in BACKEND_CHOICES:
         raise ValueError(f"unknown backend {backend!r}; expected one of {BACKEND_CHOICES}")
+    if backend == "super" and workers is not None and workers > 1:
+        raise ValueError(
+            "backend='super' is single-process by design: the whole grid is "
+            "one schedulable unit, so workers must be 1 (or None)"
+        )
     specs = list(specs)
     if replicas is not None:
         if replicas < 1:
@@ -1042,6 +1131,21 @@ def run_sweep(
             on_record(record)
 
     try:
+        super_cells = [
+            (index, spec)
+            for index, spec in pending
+            if spec.replicas is not None and spec.backend == "super"
+        ]
+        if super_cells:
+            # Cells the grid path cannot take (no CellPlan builder, or the
+            # cross-cell run itself failed) fall through to the normal
+            # per-cell machinery below, where the super backend still
+            # handles each batch individually.
+            _execute_super_grid(super_cells, emit, slots)
+            pending = [
+                (index, spec) for index, spec in pending if slots[index] is None
+            ]
+            worker_count = _resolve_workers(workers, len(pending))
         if worker_count == 1:
             for index, spec in pending:
                 record = execute_run(spec)

@@ -28,7 +28,7 @@ through named sub-streams, so a single seed controls the whole environment.
 from __future__ import annotations
 
 from functools import partial
-from typing import Any, Dict, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..adversaries import (
     BurstyLossOracle,
@@ -49,7 +49,16 @@ from ..core.machine import HOMachine
 from ..engine.rng import SeededRng
 from ..predicates import MonitorBank, build_monitor_bank
 from ..predimpl.bounds import arbitrary_p2otr_rounds
+from ..rounds.backend import (
+    CellPlan,
+    MonitorSpec,
+    ReplicaBatch,
+    ReplicaTask,
+    get_backend,
+)
+from ..rounds.bitmask import mask_of
 from ..runner.registry import REGISTRY
+from .batched import _replica_outcome_dict
 from .scenarios import FAULT_MODELS, ScenarioResult, _initial_values, _scope_for
 
 #: The dynamic adversary families swept by the ``ho-round-*`` scenarios.
@@ -220,6 +229,94 @@ def run_round_adversary(
     )
 
 
+def build_round_adversary_batch(
+    fault_model: str,
+    n: int = 4,
+    seeds: Sequence[int] = (0,),
+    family: str = "mobile-omission",
+    rounds: int = 80,
+    stabilize_round: Optional[int] = None,
+    predicates: Optional[Sequence[str]] = None,
+    stop_after_held: Optional[int] = None,
+    run_full_horizon: bool = False,
+    **params: Any,
+) -> CellPlan:
+    """Build one dynamic-adversary sweep cell as data (super-batch food).
+
+    One :class:`~repro.rounds.backend.ReplicaTask` per seed with exactly
+    the oracle stack the scalar :func:`run_round_adversary` run of that
+    seed would build -- the counter-based dynamic family intersected with
+    the fault-model overlay -- so every backend, per-cell or cross-cell,
+    reproduces the scalar decisions bit for bit.
+    """
+    if fault_model not in FAULT_MODELS:
+        raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
+    if stabilize_round is None:
+        stabilize_round = max(2, rounds // 2)
+    if stop_after_held is not None and not predicates:
+        raise ValueError("stop_after_held requires at least one monitored predicate")
+    values = _initial_values(n)
+    scope = sorted(_scope_for(fault_model, n))
+    tasks: List[ReplicaTask] = []
+    for seed in seeds:
+        rng = SeededRng(seed)
+        oracle: HOOracleBase = _family_oracle(family, n, stabilize_round, rng, params)
+        overlay = _overlay_oracle(fault_model, n, stabilize_round, rng)
+        if overlay is not None:
+            oracle = IntersectOracle(n, oracle, overlay)
+        tasks.append(
+            ReplicaTask(
+                seed=seed,
+                algorithm=OneThirdRule(n),
+                oracle=oracle,
+                initial_values=list(values),
+            )
+        )
+    monitor_factory: Optional[Callable[[], Any]] = None
+    monitor_spec: Optional[MonitorSpec] = None
+    if predicates:
+        names = tuple(predicates)
+        pi0 = frozenset(scope)
+        monitor_factory = lambda: build_monitor_bank(  # noqa: E731
+            n, names, pi0=pi0, stop_after_held=stop_after_held
+        )
+        monitor_spec = MonitorSpec(
+            predicates=names, pi0_mask=mask_of(pi0), stop_after_held=stop_after_held
+        )
+    batch = ReplicaBatch(
+        n=n,
+        tasks=tasks,
+        max_rounds=rounds,
+        scope_mask=mask_of(scope),
+        run_full_horizon=run_full_horizon,
+        monitor_factory=monitor_factory,
+        monitor_spec=monitor_spec,
+    )
+
+    def finalize(outcomes: Sequence[Any]) -> List[Dict[str, Any]]:
+        return [_replica_outcome_dict(outcome, values, scope) for outcome in outcomes]
+
+    return CellPlan(batch=batch, finalize=finalize)
+
+
+def run_round_adversary_batch(
+    fault_model: str,
+    n: int = 4,
+    seeds: Sequence[int] = (0,),
+    backend: str = "auto",
+    **kwargs: Any,
+) -> List[Dict[str, Any]]:
+    """Run one dynamic-adversary sweep cell -- all *seeds* -- as one batch.
+
+    The counter-based draws of the dynamic families make the whole
+    environment replica-vectorisable, so these cells no longer need the
+    per-replica oracle fallback loop; bit-identity with R scalar
+    :func:`run_round_adversary` runs is the contract.
+    """
+    plan = build_round_adversary_batch(fault_model, n=n, seeds=seeds, **kwargs)
+    return plan.finalize(get_backend(backend).run(plan.batch))
+
+
 #: Predicates monitored by default in the ``ho-round-*-monitored`` family.
 DEFAULT_MONITORED_PREDICATES = ("p_su", "p_k", "p_2otr", "p_restr_otr")
 
@@ -286,6 +383,8 @@ for _family in ROUND_FAMILIES:
         f"ho-round-{_family}",
         partial(run_round_adversary, family=_family),
         monitorable=True,
+        batch_runner=partial(run_round_adversary_batch, family=_family),
+        batch_builder=partial(build_round_adversary_batch, family=_family),
     )
     REGISTRY.register_scenario(
         f"ho-round-{_family}-monitored",
@@ -298,5 +397,7 @@ __all__ = [
     "ROUND_FAMILIES",
     "DEFAULT_MONITORED_PREDICATES",
     "run_round_adversary",
+    "build_round_adversary_batch",
+    "run_round_adversary_batch",
     "run_round_adversary_monitored",
 ]

@@ -54,7 +54,13 @@ from ..analysis.metrics import metrics_from_trace
 from ..core.machine import HOMachine
 from ..engine.rng import SeededRng
 from ..predicates import MonitorBank, build_monitor_bank
-from ..rounds.backend import MonitorSpec, ReplicaBatch, ReplicaTask, get_backend
+from ..rounds.backend import (
+    CellPlan,
+    MonitorSpec,
+    ReplicaBatch,
+    ReplicaTask,
+    get_backend,
+)
 from ..rounds.bitmask import mask_of
 from ..runner.registry import REGISTRY
 from .scenarios import FAULT_MODELS, ScenarioResult, _initial_values, _scope_for
@@ -214,11 +220,10 @@ def _replica_outcome_dict(
     }
 
 
-def run_classic_batch(
+def build_classic_batch(
     fault_model: str,
     n: int = 4,
     seeds: Sequence[int] = (0,),
-    backend: str = "auto",
     algorithm: str = "otr",
     rounds: int = 60,
     loss_probability: float = 0.2,
@@ -226,15 +231,15 @@ def run_classic_batch(
     predicates: Optional[Sequence[str]] = None,
     stop_after_held: Optional[int] = None,
     run_full_horizon: bool = False,
-) -> List[Dict[str, Any]]:
-    """Run one sweep cell -- all *seeds* of one classic scenario -- as a batch.
+) -> CellPlan:
+    """Build one sweep cell -- all *seeds* of one classic scenario -- as data.
 
-    Builds one :class:`~repro.rounds.backend.ReplicaTask` per seed with
-    exactly the algorithm/oracle/values the scalar :func:`run_classic` run
-    of that seed would build, hands the batch to the requested execution
-    backend, and flattens the outcomes into the sweep's per-replica wire
-    dicts.  Bit-identity with R scalar runs is the contract (and is
-    pinned by the equivalence tests).
+    One :class:`~repro.rounds.backend.ReplicaTask` per seed, with exactly
+    the algorithm/oracle/values the scalar :func:`run_classic` run of that
+    seed would build, plus the flattener from backend outcomes to the
+    sweep's per-replica wire dicts.  Execution is the caller's choice: the
+    per-cell batch runner hands the batch to one backend, the super-batch
+    sweep path packs many plans into one cross-cell engine run.
     """
     if fault_model not in FAULT_MODELS:
         raise ValueError(f"unknown fault model {fault_model!r}; expected one of {FAULT_MODELS}")
@@ -273,12 +278,33 @@ def run_classic_batch(
         monitor_factory=monitor_factory,
         monitor_spec=monitor_spec,
     )
-    outcomes = get_backend(backend).run(batch)
     task_values = [task.initial_values for task in tasks]
-    return [
-        _replica_outcome_dict(outcome, values, scope)
-        for outcome, values in zip(outcomes, task_values)
-    ]
+
+    def finalize(outcomes: Sequence[Any]) -> List[Dict[str, Any]]:
+        return [
+            _replica_outcome_dict(outcome, values, scope)
+            for outcome, values in zip(outcomes, task_values)
+        ]
+
+    return CellPlan(batch=batch, finalize=finalize)
+
+
+def run_classic_batch(
+    fault_model: str,
+    n: int = 4,
+    seeds: Sequence[int] = (0,),
+    backend: str = "auto",
+    **kwargs: Any,
+) -> List[Dict[str, Any]]:
+    """Run one sweep cell -- all *seeds* of one classic scenario -- as a batch.
+
+    Builds the cell with :func:`build_classic_batch`, hands it to the
+    requested execution backend, and flattens the outcomes into the sweep's
+    per-replica wire dicts.  Bit-identity with R scalar runs is the
+    contract (and is pinned by the equivalence tests).
+    """
+    plan = build_classic_batch(fault_model, n=n, seeds=seeds, **kwargs)
+    return plan.finalize(get_backend(backend).run(plan.batch))
 
 
 for _key in CLASSIC_ALGORITHMS:
@@ -287,11 +313,13 @@ for _key in CLASSIC_ALGORITHMS:
         partial(run_classic, algorithm=_key),
         monitorable=True,
         batch_runner=partial(run_classic_batch, algorithm=_key),
+        batch_builder=partial(build_classic_batch, algorithm=_key),
     )
 
 
 __all__ = [
     "CLASSIC_ALGORITHMS",
     "run_classic",
+    "build_classic_batch",
     "run_classic_batch",
 ]

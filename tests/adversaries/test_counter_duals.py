@@ -1,0 +1,190 @@
+"""Counter-based batch duals: bit-identical to the scalar dynamic oracles.
+
+Each of the four dynamic adversary families has an array dual
+(:mod:`repro.adversaries.counter_batch`) that recomputes the family's
+counter-based draws array-wide.  These tests pin the duals to the scalar
+oracles round by round (so equality holds on every prefix), the
+eligibility rules (same family, same construction signature), and the
+relaxed ``IntersectOracle`` decomposition guard: any number of broadcast
+or counter-based components, at most one opaque sequential one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._optional import have_numpy
+from repro.adversaries import (
+    BurstyLossOracle,
+    EventuallyStableCoordinatorOracle,
+    FaultFreeOracle,
+    IntersectOracle,
+    MobileOmissionOracle,
+    RandomOmissionOracle,
+    RotatingPartitionOracle,
+    StaticCrashOracle,
+)
+from repro.adversaries.batch import (
+    IntersectBatchOracle,
+    PerReplicaBatchOracle,
+    vectorize_oracles,
+)
+from repro.adversaries.counter_batch import counter_batch_dual
+from repro.engine.rng import SeededRng
+
+needs_numpy = pytest.mark.skipif(not have_numpy(), reason="numpy not available")
+
+FAMILY_FACTORIES = {
+    "mobile": lambda n, seed: MobileOmissionOracle(n, faults=2, seed=seed),
+    "partition": lambda n, seed: RotatingPartitionOracle(
+        n, blocks=3, period=2, churn=0.4, seed=seed
+    ),
+    "bursty": lambda n, seed: BurstyLossOracle(
+        n, p_burst=0.25, p_recover=0.35, loss_good=0.05, seed=seed
+    ),
+    "coordinator": lambda n, seed: EventuallyStableCoordinatorOracle(
+        n, stable_from=50, flaky_probability=0.4, seed=seed
+    ),
+}
+
+
+def scalar_masks(oracles, round):
+    return [
+        [oracle.ho_mask(round, p) for p in range(oracle.n)] for oracle in oracles
+    ]
+
+
+def dual_masks(dual, round, replicas, n):
+    from repro.batch.arrays import mask_from_words_row
+
+    np = __import__("numpy")
+    words = dual.round_masks(round, np.ones(replicas, dtype=bool))
+    return [[mask_from_words_row(words[r, p]) for p in range(n)] for r in range(replicas)]
+
+
+@needs_numpy
+class TestScalarDualEquality:
+    @pytest.mark.parametrize("family", sorted(FAMILY_FACTORIES))
+    @pytest.mark.parametrize("n", [3, 8, 65])
+    def test_masks_equal_on_every_round_prefix(self, family, n):
+        """Round by round, every replica's mask row matches the scalar
+        oracle -- so any prefix of the round sequence agrees too."""
+        replicas = 4
+        oracles = [FAMILY_FACTORIES[family](n, 20 + i) for i in range(replicas)]
+        shadows = [FAMILY_FACTORIES[family](n, 20 + i) for i in range(replicas)]
+        dual = counter_batch_dual(oracles, replicas)
+        assert dual is not None, f"{family} has no counter dual"
+        for round in range(1, 16):
+            assert dual_masks(dual, round, replicas, n) == scalar_masks(
+                shadows, round
+            ), f"{family} diverges at round {round}"
+
+    def test_scalar_query_order_does_not_matter(self):
+        """The scalar oracle gives the same masks queried in any (p, r)
+        order inside the retained window -- the counter property itself."""
+        oracle = BurstyLossOracle(5, p_burst=0.3, p_recover=0.3, seed=4)
+        forward = {
+            (r, p): oracle.ho_mask(r, p) for r in range(1, 10) for p in range(5)
+        }
+        fresh = BurstyLossOracle(5, p_burst=0.3, p_recover=0.3, seed=4)
+        for r in range(1, 10):  # the Markov chain still advances in order...
+            fresh.ho_mask(r, 0)
+        shuffled = {  # ...but within the window, query order is free
+            (r, p): fresh.ho_mask(r, p)
+            for r in range(9, 0, -1)
+            for p in reversed(range(5))
+        }
+        assert forward == shuffled
+
+
+class TestDualEligibility:
+    @needs_numpy
+    def test_mixed_signature_gets_no_dual(self):
+        oracles = [
+            MobileOmissionOracle(5, faults=1, seed=0),
+            MobileOmissionOracle(5, faults=2, seed=1),
+        ]
+        assert counter_batch_dual(oracles, 2) is None
+
+    @needs_numpy
+    def test_mixed_family_gets_no_dual(self):
+        oracles = [
+            MobileOmissionOracle(5, faults=1, seed=0),
+            BurstyLossOracle(5, seed=1),
+        ]
+        assert counter_batch_dual(oracles, 2) is None
+
+    @needs_numpy
+    def test_vectorize_prefers_dual_over_per_replica(self):
+        oracles = [MobileOmissionOracle(6, faults=2, seed=i) for i in range(3)]
+        batch_oracle = vectorize_oracles(oracles, 3)
+        assert not isinstance(batch_oracle, PerReplicaBatchOracle)
+
+
+@needs_numpy
+class TestIntersectDecomposition:
+    def make(self, components_for_seed, replicas=3, n=5):
+        return vectorize_oracles(
+            [
+                IntersectOracle(n, *components_for_seed(n, seed))
+                for seed in range(replicas)
+            ],
+            replicas,
+        )
+
+    def test_two_counter_components_decompose(self):
+        """Multiple *stateful* components are fine once counter-based --
+        the guard only counts opaque sequential components."""
+        batch_oracle = self.make(
+            lambda n, seed: (
+                MobileOmissionOracle(n, faults=1, seed=seed),
+                BurstyLossOracle(n, p_burst=0.2, p_recover=0.5, seed=seed),
+            )
+        )
+        assert isinstance(batch_oracle, IntersectBatchOracle)
+
+    def test_counter_plus_one_sequential_decomposes(self):
+        batch_oracle = self.make(
+            lambda n, seed: (
+                MobileOmissionOracle(n, faults=1, seed=seed),
+                RandomOmissionOracle(n, 0.2, rng=SeededRng(seed)),
+            )
+        )
+        assert isinstance(batch_oracle, IntersectBatchOracle)
+
+    def test_two_sequential_components_stay_opaque(self):
+        """Two random.Random-driven components share draw interleaving;
+        decomposition would reorder it, so the whole intersect stays on
+        the per-replica loop."""
+        batch_oracle = self.make(
+            lambda n, seed: (
+                RandomOmissionOracle(n, 0.1, rng=SeededRng(seed)),
+                RandomOmissionOracle(n, 0.2, rng=SeededRng(1000 + seed)),
+            )
+        )
+        assert isinstance(batch_oracle, PerReplicaBatchOracle)
+
+    def test_decomposed_intersect_matches_scalar(self):
+        from repro.batch.arrays import mask_from_words_row
+
+        np = __import__("numpy")
+        n, replicas = 6, 3
+
+        def build(seed):
+            return IntersectOracle(
+                n,
+                StaticCrashOracle(n, {n - 1: 3}),
+                MobileOmissionOracle(n, faults=1, seed=seed),
+                BurstyLossOracle(n, p_burst=0.2, p_recover=0.5, seed=seed),
+            )
+
+        batch_oracle = vectorize_oracles([build(s) for s in range(replicas)], replicas)
+        assert isinstance(batch_oracle, IntersectBatchOracle)
+        shadows = [build(s) for s in range(replicas)]
+        for round in range(1, 12):
+            words = batch_oracle.round_masks(round, np.ones(replicas, dtype=bool))
+            for r in range(replicas):
+                for p in range(n):
+                    assert mask_from_words_row(words[r, p]) == shadows[r].ho_mask(
+                        round, p
+                    )

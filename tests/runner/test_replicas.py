@@ -93,12 +93,16 @@ class TestBatchedCells:
             assert 0.0 <= dispersion["solve_rate"]["min"] <= dispersion["solve_rate"]["max"] <= 1.0
 
     def test_non_batchable_scenarios_fall_back_to_the_scalar_loop(self):
-        specs = [RunSpec.make("ho-round-mobile-omission", "fault-free", 0, n=4, rounds=30)]
+        # The -monitored round-adversary variants deliberately register no
+        # batch runner (full horizon + bound checks stay scalar); the plain
+        # dynamic families are batchable since the counter-based streams.
+        scenario = "ho-round-mobile-omission-monitored"
+        specs = [RunSpec.make(scenario, "fault-free", 0, n=4, rounds=30)]
         result = run_sweep(specs, replicas=3, backend="auto")
         record = result.records[0]
         assert record.replicas["backend"] == "scalar-loop"
         singles = [
-            execute_run(RunSpec.make("ho-round-mobile-omission", "fault-free", s, n=4, rounds=30))
+            execute_run(RunSpec.make(scenario, "fault-free", s, n=4, rounds=30))
             for s in range(3)
         ]
         assert [o["solved"] for o in record.replicas["outcomes"]] == [

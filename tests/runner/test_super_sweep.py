@@ -1,0 +1,146 @@
+"""The super-batch sweep path: the whole grid as one schedulable unit.
+
+``run_sweep(backend="super")`` builds a CellPlan per cell through the
+registry and hands every batch to the super backend in one call.  These
+tests pin the records equal to the scalar reference, the backend labels
+(``super`` / ``super:cell-fallback (reason)``), the single-process
+constraint (library ValueError and CLI exit 2), and the CellPlan builder
+registry itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._optional import have_numpy
+from repro.rounds.backend import CellPlan
+from repro.runner.__main__ import main as cli_main
+from repro.runner.registry import REGISTRY
+from repro.runner.sweep import BACKEND_CHOICES, build_grid, run_sweep
+
+needs_numpy = pytest.mark.skipif(not have_numpy(), reason="numpy not available")
+
+GRID = dict(
+    scenarios=["ho-classic-otr", "ho-round-mobile-omission", "ho-round-bursty-loss"],
+    fault_models=["fault-free", "crash-stop"],
+    seeds=[0],
+)
+
+
+class TestSuperSweep:
+    def test_super_is_a_backend_choice(self):
+        assert "super" in BACKEND_CHOICES
+
+    def test_super_records_match_scalar(self):
+        specs = build_grid(ns=[4, 6], **GRID)
+        sup = run_sweep(specs, replicas=3, backend="super")
+        ref = run_sweep(specs, replicas=3, backend="scalar")
+        assert len(sup.records) == len(ref.records)
+        for a, b in zip(sup.records, ref.records):
+            assert a.error is None
+            assert a.replicas["outcomes"] == b.replicas["outcomes"]
+            assert a.replicas["aggregates"] == b.replicas["aggregates"]
+        assert sup.aggregate() == ref.aggregate()
+
+    @needs_numpy
+    def test_super_label_on_grid_cells(self):
+        specs = build_grid(ns=[4], **GRID)
+        result = run_sweep(specs, replicas=2, backend="super")
+        assert all(r.replicas["backend"] == "super" for r in result.records)
+
+    def test_workers_gt_one_rejected(self):
+        specs = build_grid(ns=[4], **GRID)
+        with pytest.raises(ValueError, match="single-process by design"):
+            run_sweep(specs, replicas=2, backend="super", workers=4)
+
+    def test_workers_one_or_none_accepted(self):
+        specs = build_grid(scenarios=["ho-classic-otr"], fault_models=["fault-free"],
+                           seeds=[0], ns=[4])
+        assert run_sweep(specs, replicas=2, backend="super", workers=1).records
+        assert run_sweep(specs, replicas=2, backend="super", workers=None).records
+
+    @needs_numpy
+    def test_monitored_cell_gets_fallback_label(self):
+        """A cell with predicates is super-ineligible: it runs per-cell and
+        its record says so."""
+        specs = build_grid(
+            scenarios=["ho-classic-otr"],
+            fault_models=["fault-free"],
+            seeds=[0],
+            ns=[4],
+            predicates=("p_otr",),
+        )
+        result = run_sweep(specs, replicas=2, backend="super")
+        (record,) = result.records
+        assert record.error is None
+        used = record.replicas["backend"]
+        assert used.startswith("super:cell-fallback (")
+        assert "per-cell batch path" in used
+
+    def test_scenario_without_builder_falls_through(self):
+        """Cells with a batch runner but no CellPlan builder still execute
+        (per-cell), so a mixed grid completes end to end."""
+        names = set(REGISTRY.batchable_scenario_names())
+        no_builder = sorted(
+            name for name in names if REGISTRY.batch_builder(name) is None
+        )
+        if not no_builder:
+            pytest.skip("every batchable scenario has a builder")
+        specs = build_grid(
+            scenarios=[no_builder[0], "ho-classic-otr"],
+            fault_models=["fault-free"],
+            seeds=[0],
+            ns=[4],
+        )
+        result = run_sweep(specs, replicas=2, backend="super")
+        assert all(record.error is None for record in result.records)
+
+
+class TestBuilderRegistry:
+    @pytest.mark.parametrize(
+        "scenario",
+        [
+            "ho-classic-otr",
+            "ho-classic-uv",
+            "ho-classic-lv",
+            "ho-round-mobile-omission",
+            "ho-round-rotating-partition",
+            "ho-round-bursty-loss",
+            "ho-round-eventually-stable-coordinator",
+        ],
+    )
+    def test_builder_registered_and_returns_cellplan(self, scenario):
+        builder = REGISTRY.batch_builder(scenario)
+        assert builder is not None
+        plan = builder("fault-free", n=4, seeds=[0, 1])
+        assert isinstance(plan, CellPlan)
+        assert plan.batch.replicas == 2
+
+    def test_finalize_flattens_outcomes(self):
+        from repro.rounds.backend import get_backend
+
+        plan = REGISTRY.batch_builder("ho-classic-otr")("fault-free", n=4, seeds=[0, 1])
+        outcomes = plan.finalize(get_backend("scalar").run(plan.batch))
+        assert len(outcomes) == 2
+        assert all(o["solved"] for o in outcomes)
+
+
+class TestCli:
+    def test_super_with_workers_exits_2(self, capsys):
+        code = cli_main(
+            ["--backend", "super", "--workers", "4", "--replicas", "2"]
+        )
+        assert code == 2
+        assert "single-process by design" in capsys.readouterr().err
+
+    def test_super_smoke_grid_runs(self, capsys):
+        code = cli_main(
+            [
+                "--scenarios", "ho-classic-otr", "ho-round-eventually-stable-coordinator",
+                "--fault-models", "fault-free", "crash-stop",
+                "--replicas", "2",
+                "--backend", "super",
+                "--quiet",
+            ]
+        )
+        assert code == 0
