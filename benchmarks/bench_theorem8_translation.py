@@ -1,137 +1,271 @@
-"""E6 -- Theorem 8: the f+1-round translation of P_k into P_su (Algorithm 4).
+#!/usr/bin/env python3
+"""Step-path throughput benchmark: the step backends vs the scalar simulator.
 
-Over heard-of collections that only guarantee kernel rounds (``P_k``), the
-translation must give every pi0 process the *same* macro-round heard-of set
-containing pi0, for every macro-round of ``f+1`` inner rounds, whenever
-``n > 2f``.  The benchmark sweeps ``(n, f)``, runs many macro-rounds over
-adversarial kernel-only oracles and reports the fraction of space-uniform
-macro-rounds (the claim is: all of them) plus the end-to-end consensus
-latency in macro-rounds of OneThirdRule over the translation.
+Runs the crash-recovery translation stack's step cells -- OneThirdRule over
+the down-good predicate stack (Theorems 3-5) simulated at *step* level with
+seed-shuffled initial values -- as R lockstep replicas on both step-path
+execution backends and reports *replica-round throughput*.  The scalar
+backend (``step-scalar``) pays the full ``SystemSimulator`` event loop per
+replica: every send/receive/timeout step of every process.  The batch
+backend (``step-batch``) lowers the fault-free down-good cell onto the
+vectorized round engine, so the whole cell costs one array program per
+round.  The scalar side is timed on a small replica subset and normalised
+per replica; the batched side runs the full cell.  Before a row's timing
+is accepted, the batched outcomes on the shared seed prefix must equal the
+scalar outcomes exactly (decisions, rounds, message counts, per-round
+fingerprints).
+
+A second experiment times the Theorem 8 translation cell (Algorithm 4:
+``f+1`` kernel rounds emulate one P_su macro-round) on the round-level
+``scalar``/``batch`` backends via the batched translation kernel, and
+re-checks the theorem's claims on the outcomes: every pi0 process decides
+(the default f keeps ``3(n - f) > 2n``), at the macro-round cadence, with
+agreement inside every replica.
+
+Emits ``BENCH_step.json`` (schema ``repro-bench-step/1``) next to
+BENCH_batch/BENCH_rounds/BENCH_sweep so CI can track the trajectory::
+
+    python benchmarks/bench_theorem8_translation.py --sizes 16 64 --replica-counts 64 256
 """
 
 from __future__ import annotations
 
-import pytest
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Dict, List, Optional
 
-from repro.algorithms import OneThirdRule
-from repro.core import HOMachine, KernelOnlyOracle
-from repro.predimpl import KernelToUniformTranslation
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
-SWEEP = [
-    # (n, f, macro_rounds, seed)
-    (3, 1, 6, 0),
-    (4, 1, 6, 0),
-    (5, 2, 6, 0),
-    (5, 2, 6, 1),
-    (7, 3, 5, 0),
-    (9, 4, 4, 0),
-]
+from repro._optional import have_numpy  # noqa: E402
+from repro.rounds.backend import ExecutionBackend, ReplicaBatch, get_backend  # noqa: E402
+from repro.workloads.theorems import (  # noqa: E402
+    build_step_batch,
+    build_translation_batch,
+)
+
+SCHEMA = "repro-bench-step/1"
+
+FAULT_MODEL = "fault-free"
 
 
-def run_translation(n, f, macro_rounds, seed):
-    pi0 = frozenset(range(n - f))
-    translation = KernelToUniformTranslation(OneThirdRule(n), f)
-    machine = HOMachine(translation, KernelOnlyOracle(n, pi0, seed=seed), list(range(n)))
-    machine.run(macro_rounds * (f + 1))
-    uniform = 0
-    contains_pi0 = 0
-    pi0_projection_uniform = 0
-    total = 0
-    for boundary in range(f + 1, macro_rounds * (f + 1) + 1, f + 1):
-        records = [
-            record
-            for record in machine.trace.records
-            if record.round == boundary and record.process in pi0
-        ]
-        new_hos = {record.state_after.last_new_ho for record in records}
-        total += 1
-        if len(new_hos) == 1 and pi0.issubset(next(iter(new_hos))):
-            uniform += 1
-        if all(pi0.issubset(ho) for ho in new_hos):
-            contains_pi0 += 1
-        if len({ho & pi0 for ho in new_hos}) == 1:
-            pi0_projection_uniform += 1
-    decisions = {
-        p: translation.decision(machine.state(p))
-        for p in pi0
-        if translation.decision(machine.state(p)) is not None
-    }
-    decision_macro_rounds = [
-        record.state_after.macro_round - 1
-        for record in machine.trace.records
-        if record.process in pi0 and record.decision is not None
-    ]
+def subset_batch(batch: ReplicaBatch, replicas: int) -> ReplicaBatch:
+    """The same cell restricted to its first ``replicas`` seeds."""
+    return ReplicaBatch(
+        n=batch.n,
+        tasks=batch.tasks[:replicas],
+        max_rounds=batch.max_rounds,
+        scope_mask=batch.scope_mask,
+        run_full_horizon=batch.run_full_horizon,
+        monitor_factory=batch.monitor_factory,
+        monitor_spec=batch.monitor_spec,
+        fingerprints=batch.fingerprints,
+    )
+
+
+def time_backend(backend: ExecutionBackend, build, repeats: int):
+    best = float("inf")
+    outcomes = None
+    for _ in range(repeats):
+        batch = build()
+        started = time.perf_counter()
+        outcomes = backend.run(batch)
+        best = min(best, time.perf_counter() - started)
+    return best, outcomes
+
+
+def time_cell(
+    scalar_name: str,
+    batch_name: str,
+    build,
+    replicas: int,
+    scalar_replicas: int,
+    repeats: int,
+):
+    """Time one cell on both backends; pin the shared seed prefix.
+
+    The scalar side runs only the first ``scalar_replicas`` replicas (the
+    full cell would dominate CI wall clock) and is normalised per replica;
+    the batched outcomes on those replicas must match it bit for bit --
+    the same golden-fingerprint pin the backend tests enforce.
+    """
+    scalar_replicas = min(scalar_replicas, replicas)
+    scalar_seconds, scalar_outcomes = time_backend(
+        get_backend(scalar_name), lambda: subset_batch(build(), scalar_replicas), repeats
+    )
+    batch_seconds, batch_outcomes = time_backend(get_backend(batch_name), build, repeats)
+    assert batch_outcomes[:scalar_replicas] == scalar_outcomes, (
+        f"backend divergence on the shared seed prefix ({scalar_name} vs {batch_name})"
+    )
+    rounds = build().max_rounds
+    scalar_throughput = scalar_replicas * rounds / scalar_seconds
+    batch_throughput = replicas * rounds / batch_seconds
     return {
-        "n": n,
-        "f": f,
-        "macro_rounds": total,
-        "uniform_macro_rounds": uniform,
-        "contains_pi0": contains_pi0,
-        "pi0_projection_uniform": pi0_projection_uniform,
-        "pi0_decided": len(decisions) == len(pi0),
-        "agreement": len(set(decisions.values())) <= 1,
-        "first_decision_macro_round": min(decision_macro_rounds) if decision_macro_rounds else None,
-    }
+        "replicas": replicas,
+        "scalar_replicas": scalar_replicas,
+        "rounds": rounds,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batch_seconds": round(batch_seconds, 6),
+        "scalar_replica_rounds_per_second": round(scalar_throughput, 1),
+        "batch_replica_rounds_per_second": round(batch_throughput, 1),
+        "speedup": round(batch_throughput / scalar_throughput, 2),
+    }, batch_outcomes
 
 
-def test_theorem8_translation_sweep(benchmark, report):
-    def run_sweep():
-        return [run_translation(n, f, rounds, seed) for n, f, rounds, seed in SWEEP]
+def benchmark_step(
+    sizes: List[int],
+    replica_counts: List[int],
+    rounds: int,
+    scalar_replicas: int,
+    repeats: int,
+) -> List[Dict[str, Any]]:
+    results = []
+    for n in sizes:
+        for replicas in replica_counts:
+            def build(n=n, replicas=replicas):
+                return build_step_batch(
+                    FAULT_MODEL,
+                    n=n,
+                    seeds=range(1, replicas + 1),
+                    rounds=rounds,
+                    run_full_horizon=True,
+                ).batch
 
-    rows = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    lines = [
-        f"{'n':<3} {'f':<3} {'macro rounds':<13} {'space uniform':<14} "
-        f"{'contains pi0':<13} {'pi0 projection uniform':<23} "
-        f"{'pi0 decided':<12} {'agreement':<10} first decision (macro round)"
-    ]
-    for row in rows:
-        lines.append(
-            f"{row['n']:<3} {row['f']:<3} {row['macro_rounds']:<13} "
-            f"{row['uniform_macro_rounds']:<14} {row['contains_pi0']:<13} "
-            f"{row['pi0_projection_uniform']:<23} {str(row['pi0_decided']):<12} "
-            f"{str(row['agreement']):<10} {row['first_decision_macro_round']}"
+            row, _ = time_cell(
+                "step-scalar", "step-batch", build, replicas, scalar_replicas, repeats
+            )
+            row = {"n": n, **row}
+            results.append(row)
+            print(
+                f"step        n={n:<4} R={replicas:<5} "
+                f"scalar: {row['scalar_replica_rounds_per_second']:10.1f} rr/s   "
+                f"batch: {row['batch_replica_rounds_per_second']:10.1f} rr/s   "
+                f"speedup: {row['speedup']:8.2f}x"
+            )
+    return results
+
+
+def benchmark_translation(
+    sizes: List[int],
+    replicas: int,
+    f: int,
+    macro_rounds: int,
+    scalar_replicas: int,
+    repeats: int,
+) -> List[Dict[str, Any]]:
+    results = []
+    rounds = macro_rounds * (f + 1)
+    for n in sizes:
+        def build(n=n):
+            return build_translation_batch(
+                FAULT_MODEL,
+                n=n,
+                seeds=range(1, replicas + 1),
+                f=f,
+                rounds=rounds,
+                run_full_horizon=True,
+            ).batch
+
+        row, outcomes = time_cell(
+            "scalar", "batch", build, replicas, scalar_replicas, repeats
         )
-    lines.append("")
-    lines.append(
-        "Reproduction note: with adversarial kernel-only collections the published"
-    )
-    lines.append(
-        "Algorithm 4 can leave pi0 members disagreeing about processes *outside* pi0"
-    )
-    lines.append(
-        "(see EXPERIMENTS.md, E6); every macro heard-of set still contains pi0, the"
-    )
-    lines.append(
-        "pi0-projection is identical, and consensus over the translation is reached."
-    )
-    report("E6  Theorem 8: P_k -> P_su translation in f+1 rounds", lines)
-    for row in rows:
-        # Provable part of Theorem 8 under adversarial extras: every macro
-        # heard-of set of a pi0 process contains pi0, the pi0-projections are
-        # identical, and consensus over the translation succeeds.
-        assert row["contains_pi0"] == row["macro_rounds"]
-        assert row["pi0_projection_uniform"] == row["macro_rounds"]
-        # Most macro rounds are fully space-uniform even against the adversary.
-        assert row["uniform_macro_rounds"] >= row["macro_rounds"] - 1
-        assert row["agreement"]
-        # OneThirdRule over the translation decides whenever the macro-level
-        # quorum condition |pi0| > 2n/3 holds (Theorem 2 needs |Pi0| > 2n/3);
-        # for the other (n, f) points the translation itself is still checked
-        # above but pi0 alone is not a OneThirdRule quorum.
-        if 3 * (row["n"] - row["f"]) > 2 * row["n"]:
-            assert row["pi0_decided"]
+        # Theorem 8, re-checked on every replica of the timed cell: all of
+        # pi0 decides (f keeps 3(n - f) > 2n), in agreement, at the
+        # macro-round cadence of f+1 kernel rounds.
+        pi0 = set(range(n - f))
+        for outcome in outcomes:
+            assert pi0 <= set(outcome.decisions), outcome.seed
+            assert len({outcome.decisions[p] for p in pi0}) == 1, outcome.seed
+            assert all(
+                outcome.decision_rounds[p] % (f + 1) == 0 for p in pi0
+            ), outcome.seed
+        row = {"n": n, "f": f, **row}
+        results.append(row)
+        print(
+            f"translation n={n:<4} R={replicas:<5} "
+            f"scalar: {row['scalar_replica_rounds_per_second']:10.1f} rr/s   "
+            f"batch: {row['batch_replica_rounds_per_second']:10.1f} rr/s   "
+            f"speedup: {row['speedup']:8.2f}x"
+        )
+    return results
 
 
-def test_translation_requires_n_greater_than_2f(benchmark, report):
-    """The n > 2f hypothesis of Theorem 8 is enforced by the implementation."""
-
-    def check():
-        with pytest.raises(ValueError):
-            KernelToUniformTranslation(OneThirdRule(4), f=2)
-        return True
-
-    assert benchmark.pedantic(check, rounds=1, iterations=1)
-    report(
-        "E6b Theorem 8 hypothesis",
-        ["n = 4, f = 2 rejected: the translation requires n > 2f"],
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", nargs="+", type=int, default=[16, 64],
+        help="system sizes to sweep (default: 16 64)",
     )
+    parser.add_argument(
+        "--replica-counts", nargs="+", type=int, default=[64, 256],
+        help="replica counts per step cell (default: 64 256)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=8,
+        help="rounds per step replica, full horizon (default: 8)",
+    )
+    parser.add_argument(
+        "--scalar-replicas", type=int, default=2,
+        help="replica subset timed on the scalar backends (default: 2)",
+    )
+    parser.add_argument(
+        "--translation-replicas", type=int, default=64,
+        help="replicas of the Theorem 8 translation cells (default: 64)",
+    )
+    parser.add_argument(
+        "--translation-f", type=int, default=1,
+        help="resilience of the translation cells (default: 1)",
+    )
+    parser.add_argument(
+        "--macro-rounds", type=int, default=6,
+        help="macro-rounds per translation replica (default: 6)",
+    )
+    parser.add_argument(
+        "--skip-translation", action="store_true",
+        help="skip the Theorem 8 translation-cell experiment",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timing repeats, best-of (default: 2)"
+    )
+    parser.add_argument(
+        "--json", default="BENCH_step.json",
+        help="output path (default: BENCH_step.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if not have_numpy():
+        print(
+            "warning: numpy unavailable -- the batched backends will run "
+            "their scalar fallbacks and speedups will be ~1x",
+            file=sys.stderr,
+        )
+    payload: Dict[str, Any] = {
+        "schema": SCHEMA,
+        "numpy": have_numpy(),
+        "environment": {
+            "step_cell": "down-good fault-free",
+            "algorithm": "one-third-rule",
+            "translation": "kernel-to-uniform (Algorithm 4)",
+        },
+        "repeats": args.repeats,
+        "results": benchmark_step(
+            args.sizes, args.replica_counts, args.rounds,
+            args.scalar_replicas, args.repeats,
+        ),
+    }
+    if not args.skip_translation:
+        payload["translation"] = benchmark_translation(
+            args.sizes, args.translation_replicas, args.translation_f,
+            args.macro_rounds, args.scalar_replicas, args.repeats,
+        )
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

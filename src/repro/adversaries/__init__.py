@@ -47,6 +47,7 @@ from .base import (
     oracle_rng,
 )
 from .classic import (
+    CounterKernelOracle,
     FaultFreeOracle,
     GoodPeriodOracle,
     KernelOnlyOracle,
@@ -93,6 +94,7 @@ __all__ = [
     "ScriptedOracle",
     "GoodPeriodOracle",
     "KernelOnlyOracle",
+    "CounterKernelOracle",
     # combinators
     "IntersectOracle",
     "UnionOracle",

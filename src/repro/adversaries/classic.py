@@ -315,6 +315,60 @@ class KernelOnlyOracle(MaskOracleBase):
         return mask
 
 
+class CounterKernelOracle(MaskOracleBase):
+    """:class:`KernelOnlyOracle` with counter-based draws: the batchable twin.
+
+    Same distribution -- every ``p in pi0`` hears of all of pi0 plus an
+    independent coin-flip subset of the outsiders, everyone else an
+    arbitrary subset plus itself -- but each coin is a pure function of
+    ``(stream key, tag, round, receiver, sender)`` on the ``oracle.kernel``
+    counter stream, so :class:`~repro.adversaries.counter_batch.
+    CounterKernelBatchDual` recomputes all of them array-wide with no
+    per-replica query loop.  Tag 0 addresses the member extras, tag 1 the
+    outsider subsets, keeping the two draw types decorrelated.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        pi0: Iterable[ProcessId],
+        seed: int = 0,
+        rng: Optional[SeededRng] = None,
+    ) -> None:
+        super().__init__(n)
+        self.pi0 = validate_process_subset(pi0, n)
+        self._pi0_mask = mask_of(self.pi0)
+        self._ctr = oracle_rng(seed, rng).counter_stream("oracle.kernel")
+        self._memo: Dict[Tuple[Round, ProcessId], int] = {}
+
+    def counter_batch_signature(self) -> Tuple[object, ...]:
+        return ("counter-kernel", self.n, self._pi0_mask)
+
+    def ho_mask(self, round: Round, process: ProcessId) -> int:
+        key = (round, process)
+        mask = self._memo.get(key)
+        if mask is None:
+            ctr = self._ctr
+            if (1 << process) & self._pi0_mask:
+                extras = 0
+                outside = self._full & ~self._pi0_mask
+                bit = 1
+                for q in range(self.n):
+                    if outside & bit and ctr.below(0.5, 0, round, process, q):
+                        extras |= bit
+                    bit <<= 1
+                mask = self._pi0_mask | extras
+            else:
+                mask = 1 << process
+                bit = 1
+                for q in range(self.n):
+                    if ctr.below(0.5, 1, round, process, q):
+                        mask |= bit
+                    bit <<= 1
+            self._memo[key] = mask
+        return mask
+
+
 __all__ = [
     "FaultFreeOracle",
     "StaticCrashOracle",
@@ -324,4 +378,5 @@ __all__ = [
     "ScriptedOracle",
     "GoodPeriodOracle",
     "KernelOnlyOracle",
+    "CounterKernelOracle",
 ]

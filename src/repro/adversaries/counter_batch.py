@@ -26,12 +26,13 @@ rather than silently replaying history.
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Optional, Sequence
 
 from .._optional import require_numpy
 from ..batch.arrays import pack_bools
 from ..engine.counter import counter_hash_array, units_of_array
 from ..rounds.bitmask import WORD_BITS, word_count
+from .classic import CounterKernelOracle
 from .dynamic import (
     BurstyLossOracle,
     EventuallyStableCoordinatorOracle,
@@ -285,7 +286,53 @@ class EventuallyStableCoordinatorBatchDual(_CounterDualBase):
         return pack_bools(heard, n)
 
 
+class CounterKernelBatchDual(_CounterDualBase):
+    """Array twin of :class:`~repro.adversaries.classic.CounterKernelOracle`.
+
+    Stateless per round: the member-extras coins ``(0, r, p, q)`` and the
+    outsider coins ``(1, r, p, q)`` are recomputed array-wide; member rows
+    are ``pi0 | extras`` (extras restricted to outsiders), outsider rows an
+    arbitrary subset with the self bit forced, composed per receiver row.
+    """
+
+    def __init__(self, oracles: Sequence[CounterKernelOracle]) -> None:
+        super().__init__(oracles)
+        np = self.np
+        first = oracles[0]
+        self.pi0 = first.pi0
+        member = np.zeros(self.n, dtype=bool)
+        for p in first.pi0:
+            member[p] = True
+        self._member = member
+        self._pi0_words = pack_bools(member[None, :], self.n)[0]
+
+    def round_masks(self, round: int, active: Any) -> Any:
+        np = self.np
+        r = np.uint64(round)
+        keys = self.keys[:, None, None]
+        p_axis = self._arange[:, None]
+        q_axis = self._arange[None, :]
+        extras = (
+            units_of_array(
+                np, counter_hash_array(np, keys, [np.uint64(0), r, p_axis, q_axis])
+            )
+            < 0.5
+        ) & (~self._member)[None, None, :]
+        member_words = pack_bools(extras, self.n) | self._pi0_words[None, None, :]
+        outsider = (
+            units_of_array(
+                np, counter_hash_array(np, keys, [np.uint64(1), r, p_axis, q_axis])
+            )
+            < 0.5
+        )
+        outsider_words = pack_bools(outsider, self.n) | self._self_bits[None, :, :]
+        return np.where(
+            self._member[None, :, None], member_words, outsider_words
+        )
+
+
 _DUALS = {
+    CounterKernelOracle: CounterKernelBatchDual,
     MobileOmissionOracle: MobileOmissionBatchDual,
     RotatingPartitionOracle: RotatingPartitionBatchDual,
     BurstyLossOracle: BurstyLossBatchDual,
@@ -316,6 +363,7 @@ def counter_batch_dual(oracles: Sequence[Any], replicas: int) -> Optional[Any]:
 
 
 __all__ = [
+    "CounterKernelBatchDual",
     "MobileOmissionBatchDual",
     "RotatingPartitionBatchDual",
     "BurstyLossBatchDual",

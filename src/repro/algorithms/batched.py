@@ -94,6 +94,24 @@ class BatchKernel(abc.ABC):
     #: the scalar algorithm class this kernel is the dual of.
     algorithm_class: Type[Any]
 
+    #: whether the super-batch engine may pack this kernel's rows into a
+    #: mixed-cell row space (it constructs kernels directly with ``row_n``
+    #: padding); kernels whose construction needs the full task context --
+    #: e.g. the translation kernel, which embeds an inner kernel -- opt out
+    #: and keep the per-cell batch path.
+    super_batchable = True
+
+    @classmethod
+    def from_batch(cls, batch: Any) -> "BatchKernel":
+        """Construct the kernel for a :class:`~repro.rounds.backend.ReplicaBatch`.
+
+        The default reads only ``(n, initial_values)``; kernels that depend
+        on the tasks' algorithm instances (translation parameters, inner
+        algorithms) override this and raise :class:`BatchUnsupported` for
+        task shapes they cannot represent.
+        """
+        return cls(batch.n, [list(task.initial_values) for task in batch.tasks])
+
     def __init__(
         self,
         n: int,

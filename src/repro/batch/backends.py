@@ -112,9 +112,7 @@ class BatchBackend:
         kernel_class = batch_kernel_for(batch.tasks[0].algorithm)
         assert kernel_class is not None
         try:
-            kernel = kernel_class(
-                batch.n, [list(task.initial_values) for task in batch.tasks]
-            )
+            kernel = kernel_class.from_batch(batch)
         except BatchUnsupported as exc:
             # Unencodable values are only detectable by trying; degrade.
             return None, str(exc)

@@ -126,6 +126,15 @@ class SuperBatchBackend:
                 f"no batched kernel for {batch.tasks[0].algorithm.__class__.__name__}",
                 None,
             )
+        if not kernel_class.super_batchable:
+            # Kernels built from the full task context (e.g. the translation
+            # kernel's embedded inner kernel) cannot be packed into a padded
+            # mixed-n row space; they keep the per-cell batch path.
+            return (
+                f"{kernel_class.__name__} does not super-batch "
+                "(per-cell row space only)",
+                None,
+            )
         if batch.monitor_factory is not None or batch.monitor_spec is not None:
             # Monitors are per-cell constructs (their arrays are sized to
             # the cell); monitored cells keep the per-cell batch path.

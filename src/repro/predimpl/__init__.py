@@ -6,12 +6,18 @@
   "pi0-arbitrary" good periods;
 * :mod:`repro.predimpl.translation` -- Algorithm 4: the ``P_k -> P_su``
   translation in ``f+1`` rounds (Theorem 8);
+* :mod:`repro.predimpl.batched_translation` -- the replica-vectorised dual
+  of Algorithm 4 (registered as the translation's batch kernel on import);
 * :mod:`repro.predimpl.bounds` -- the closed-form good-period lengths of
   Theorems 3, 5, 6, 7 and Corollary 4;
-* :mod:`repro.predimpl.stack` -- glue to assemble complete stacks.
+* :mod:`repro.predimpl.stack` -- glue to assemble complete stacks;
+* :mod:`repro.predimpl.step_backend` -- the step-path execution backends
+  (``step-scalar``/``step-batch``) wrapping the system simulator behind
+  :class:`~repro.rounds.backend.ReplicaBatch`.
 """
 
 from .arbitrary_good_period import ArbitraryGoodPeriodProgram, build_arbitrary_period_programs
+from .batched_translation import BatchTranslationKernel
 from .bounds import (
     BoundSummary,
     algorithm2_round_length,
@@ -46,6 +52,7 @@ __all__ = [
     "KernelToUniformTranslation",
     "TranslationMessage",
     "TranslationState",
+    "BatchTranslationKernel",
     "PredicateStack",
     "build_down_stack",
     "build_arbitrary_stack",

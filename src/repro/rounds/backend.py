@@ -384,6 +384,10 @@ def get_backend(name: str) -> ExecutionBackend:
 def _ensure_populated() -> None:
     if "batch" not in _BACKENDS:
         import repro.batch  # noqa: F401  (registers the batch backend)
+    if "step-scalar" not in _BACKENDS:
+        # Registers the step-path backends (and the translation kernel via
+        # the package __init__); lazy for the same reason as repro.batch.
+        import repro.predimpl.step_backend  # noqa: F401
 
 
 register_backend(ScalarBackend())

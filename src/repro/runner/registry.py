@@ -22,7 +22,7 @@ processes populate it by importing :mod:`repro.workloads`.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Mapping, Optional
 
 
 class TaskRegistry:
@@ -35,6 +35,7 @@ class TaskRegistry:
         self._monitorable: Dict[str, bool] = {}
         self._batch_runners: Dict[str, Callable] = {}
         self._batch_builders: Dict[str, Callable] = {}
+        self._backend_aliases: Dict[str, Dict[str, str]] = {}
         self._populated = False
 
     # -- registration -------------------------------------------------- #
@@ -47,6 +48,7 @@ class TaskRegistry:
         monitorable: bool = False,
         batch_runner: Optional[Callable] = None,
         batch_builder: Optional[Callable] = None,
+        backend_aliases: Optional[Mapping[str, str]] = None,
     ) -> Callable:
         """Register scenario *name*; returns *fn* so it can be used as a decorator.
 
@@ -68,6 +70,13 @@ class TaskRegistry:
         flattener).  The super-batch sweep path uses it to pack *all* cells
         of a grid into one cross-cell engine run instead of executing them
         cell by cell.
+
+        *backend_aliases* maps the sweep's generic backend choices
+        (``auto``/``batch``/``super``/``scalar``) onto the scenario's own
+        execution backends.  Step-path scenarios use it to route
+        ``--backend batch`` to ``step-batch`` (and ``scalar`` to
+        ``step-scalar``) without the sweep executor knowing what a step
+        replica is; unmapped names pass through unchanged.
         """
         self._scenarios[name] = fn
         self._monitorable[name] = monitorable
@@ -75,6 +84,8 @@ class TaskRegistry:
             self._batch_runners[name] = batch_runner
         if batch_builder is not None:
             self._batch_builders[name] = batch_builder
+        if backend_aliases is not None:
+            self._backend_aliases[name] = dict(backend_aliases)
         return fn
 
     def register_measurement(self, name: str, fn: Callable) -> Callable:
@@ -144,6 +155,16 @@ class TaskRegistry:
         """The CellPlan builder of scenario *name*, or None (super-batch food)."""
         self._ensure_populated()
         return self._batch_builders.get(name)
+
+    def resolve_backend(self, name: str, requested: str) -> str:
+        """Scenario *name*'s execution backend for the sweep choice *requested*.
+
+        Applies the scenario's registered backend aliases (step-path
+        scenarios map the generic choices onto ``step-batch`` /
+        ``step-scalar``); names without an alias pass through unchanged.
+        """
+        self._ensure_populated()
+        return self._backend_aliases.get(name, {}).get(requested, requested)
 
     def _ensure_populated(self) -> None:
         """Import the workload modules whose import side-effect registers tasks.

@@ -435,6 +435,9 @@ def _execute_batch_cell(spec: RunSpec) -> RunRecord:
     batch_runner = (
         REGISTRY.batch_runner(spec.scenario) if spec.backend != "scalar" else None
     )
+    # A scenario may alias the generic backend choices onto its own
+    # execution backends (step-path scenarios: "batch" -> "step-batch").
+    resolved_backend = REGISTRY.resolve_backend(spec.scenario, spec.backend)
     started = time.perf_counter()
     error: Optional[str] = None
     outcomes: List[Dict[str, Any]] = []
@@ -442,17 +445,17 @@ def _execute_batch_cell(spec: RunSpec) -> RunRecord:
         try:
             outcomes = list(
                 batch_runner(
-                    spec.fault_model, n=spec.n, seeds=seeds, backend=spec.backend,
+                    spec.fault_model, n=spec.n, seeds=seeds, backend=resolved_backend,
                     **spec.kwargs,
                 )
             )
             # Only a completed run can tell whether vectorisation engaged;
             # an exception may have fired before any backend executed, so
             # the label then stays the requested name.
-            used_backend = _effective_backend(spec.backend)
+            used_backend = _effective_backend(resolved_backend)
         except Exception as exc:  # noqa: BLE001 - a failed cell must not kill the sweep
             error = f"{type(exc).__name__}: {exc}"
-            used_backend = spec.backend
+            used_backend = resolved_backend
     else:
         used_backend = "scalar-loop"
         for seed in seeds:

@@ -32,6 +32,13 @@ from .scenarios import (
     run_chandra_toueg,
     run_ho_stack,
 )
+from .theorems import (
+    STEP_BACKEND_ALIASES,
+    run_step,
+    run_step_batch,
+    run_translation,
+    run_translation_batch,
+)
 
 __all__ = [
     "Measurement",
@@ -58,4 +65,9 @@ __all__ = [
     "CLASSIC_ALGORITHMS",
     "run_classic",
     "run_classic_batch",
+    "STEP_BACKEND_ALIASES",
+    "run_step",
+    "run_step_batch",
+    "run_translation",
+    "run_translation_batch",
 ]

@@ -16,6 +16,7 @@ import pytest
 from repro._optional import have_numpy
 from repro.adversaries import (
     BurstyLossOracle,
+    CounterKernelOracle,
     EventuallyStableCoordinatorOracle,
     FaultFreeOracle,
     IntersectOracle,
@@ -45,6 +46,8 @@ FAMILY_FACTORIES = {
     "coordinator": lambda n, seed: EventuallyStableCoordinatorOracle(
         n, stable_from=50, flaky_probability=0.4, seed=seed
     ),
+    # pi0 = everyone but the last process (n = 1 collapses to pi0 = {0}).
+    "kernel": lambda n, seed: CounterKernelOracle(n, range(max(1, n - 1)), seed=seed),
 }
 
 

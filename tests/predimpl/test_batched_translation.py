@@ -1,0 +1,252 @@
+"""The batched translation kernel: bit-identical to scalar Algorithm 4.
+
+Pins :class:`repro.predimpl.batched_translation.BatchTranslationKernel`
+against the scalar :class:`KernelToUniformTranslation` at the uint64
+word-spill sizes (n = 1, 63, 64, 65): the Theorem 8 ``NewHO`` threshold,
+the listen-set shrinkage inside a macro-round, the decisions, and the
+scalar-vs-batched fingerprint equality on every round prefix.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._optional import have_numpy
+from repro.adversaries import CounterKernelOracle
+from repro.algorithms import OneThirdRule, UniformVoting
+from repro.algorithms.batched import BatchUnsupported
+from repro.core.machine import HOMachine
+from repro.engine.rng import SeededRng
+from repro.predimpl.translation import KernelToUniformTranslation
+from repro.rounds.backend import ReplicaBatch, ReplicaTask, get_backend
+
+needs_numpy = pytest.mark.skipif(not have_numpy(), reason="numpy not available")
+
+#: the word-spill sizes: one word exactly, one bit short, one bit over.
+SPILL_SIZES = [1, 63, 64, 65]
+
+
+def kernel_oracle(n, seed, f):
+    return CounterKernelOracle(n, range(n - f), rng=SeededRng(seed))
+
+
+def shuffled_values(n, seed):
+    values = [10 * (p + 1) for p in range(n)]
+    SeededRng(seed).stream("values").shuffle(values)
+    return values
+
+
+def translation_f(n):
+    """A small non-trivial f at every spill size (0 only where forced)."""
+    return min(1, (n - 1) // 3)
+
+
+def make_batch(n, seeds, f, max_rounds, **kwargs):
+    tasks = [
+        ReplicaTask(
+            seed=seed,
+            algorithm=KernelToUniformTranslation(OneThirdRule(n), f),
+            oracle=kernel_oracle(n, seed, f),
+            initial_values=shuffled_values(n, seed),
+        )
+        for seed in seeds
+    ]
+    kwargs.setdefault("fingerprints", True)
+    return ReplicaBatch(n=n, tasks=tasks, max_rounds=max_rounds, **kwargs)
+
+
+def scalar_machines(n, seeds, f):
+    return [
+        HOMachine(
+            KernelToUniformTranslation(OneThirdRule(n), f),
+            kernel_oracle(n, seed, f),
+            shuffled_values(n, seed),
+        )
+        for seed in seeds
+    ]
+
+
+@needs_numpy
+class TestKernelLockstep:
+    """Drive the batched kernel next to scalar machines, round by round."""
+
+    def drive(self, n, rounds=None):
+        import numpy as np
+
+        from repro.predimpl.batched_translation import BatchTranslationKernel
+
+        f = translation_f(n)
+        seeds = [7, 8, 9]
+        machines = scalar_machines(n, seeds, f)
+        shadows = [kernel_oracle(n, seed, f) for seed in seeds]
+        kernel = BatchTranslationKernel(
+            n, [shuffled_values(n, seed) for seed in seeds], f=f
+        )
+        active = np.ones(len(seeds), dtype=bool)
+        if rounds is None:
+            rounds = 3 * (f + 1)
+        for round in range(1, rounds + 1):
+            heard = np.zeros((len(seeds), n, n), dtype=bool)
+            for r, shadow in enumerate(shadows):
+                for p in range(n):
+                    mask = shadow.ho_mask(round, p)
+                    for q in range(n):
+                        heard[r, p, q] = bool(mask >> q & 1)
+            kernel.step(round, heard, active)
+            for machine in machines:
+                machine.run_round()
+            yield round, f, kernel, machines
+
+    @pytest.mark.parametrize("n", SPILL_SIZES)
+    def test_listen_and_new_ho_match_scalar(self, n):
+        for round, f, kernel, machines in self.drive(n):
+            algorithm = machines[0].algorithm
+            for r, machine in enumerate(machines):
+                for p in range(n):
+                    state = machine.state(p)
+                    batch_listen = {q for q in range(n) if kernel.listen[r, p, q]}
+                    assert batch_listen == set(state.listen), (n, round, r, p)
+                    if algorithm.is_boundary_round(round):
+                        batch_ho = {q for q in range(n) if kernel.last_new_ho[r, p, q]}
+                        assert batch_ho == set(state.last_new_ho), (n, round, r, p)
+
+    @pytest.mark.parametrize("n", [4, 65])
+    def test_theorem8_new_ho_threshold_for_members(self, n):
+        """At every boundary, each pi0 member's NewHO contains all of pi0
+        and has at least n - f processes -- the Theorem 8 guarantee."""
+        f = translation_f(n)
+        pi0 = set(range(n - f))
+        saw_boundary = False
+        for round, f, kernel, machines in self.drive(n):
+            if not machines[0].algorithm.is_boundary_round(round):
+                continue
+            saw_boundary = True
+            for r in range(len(machines)):
+                for p in pi0:
+                    batch_ho = {q for q in range(n) if kernel.last_new_ho[r, p, q]}
+                    assert pi0 <= batch_ho
+                    assert len(batch_ho) >= n - f
+        assert saw_boundary
+
+    def test_listen_shrinks_within_a_macro_round(self):
+        """Non-boundary rounds only ever intersect the listen sets; the
+        boundary resets them to the full process set."""
+        n = 65
+        previous = None
+        for round, f, kernel, machines in self.drive(n, rounds=2 * (f := 1) + 2):
+            algorithm = machines[0].algorithm
+            listen = kernel.listen.copy()
+            if previous is not None and not algorithm.is_boundary_round(round):
+                assert bool((listen <= previous).all())
+            if algorithm.is_boundary_round(round):
+                assert bool(listen.all())
+            previous = listen
+
+    @pytest.mark.parametrize("n", SPILL_SIZES)
+    def test_decisions_match_scalar(self, n):
+        for round, f, kernel, machines in self.drive(n):
+            for r, machine in enumerate(machines):
+                scalar = {
+                    p: machine.algorithm.decision(machine.state(p))
+                    for p in range(n)
+                    if machine.algorithm.decision(machine.state(p)) is not None
+                }
+                decisions, _rounds = kernel.decisions_of(r)
+                assert decisions == scalar, (n, round, r)
+
+
+@needs_numpy
+class TestBackendFingerprints:
+    def test_fingerprints_equal_on_every_round_prefix(self):
+        """max_rounds = k for every k: the digests chain per executed
+        round, so prefix-k equality pins the whole round sequence."""
+        n, f = 4, 1
+        for k in range(1, 3 * (f + 1) + 1):
+            seeds = [0, 1, 2, 3]
+            scalar = get_backend("scalar").run(
+                make_batch(n, seeds, f, k, run_full_horizon=True)
+            )
+            batched = get_backend("batch").run(
+                make_batch(n, seeds, f, k, run_full_horizon=True)
+            )
+            assert scalar == batched, f"prefix {k} diverges"
+            assert all(outcome.fingerprint for outcome in scalar)
+
+    @pytest.mark.parametrize("n", SPILL_SIZES)
+    def test_full_outcomes_equal_at_spill_sizes(self, n):
+        f = translation_f(n)
+        seeds = [11, 12]
+        rounds = 3 * (f + 1)
+        scalar = get_backend("scalar").run(make_batch(n, seeds, f, rounds))
+        batched = get_backend("batch").run(make_batch(n, seeds, f, rounds))
+        assert scalar == batched
+        assert all(outcome.decisions for outcome in scalar)
+
+
+@needs_numpy
+class TestEligibility:
+    def test_non_one_third_rule_inner_is_rejected(self):
+        from repro.predimpl.batched_translation import BatchTranslationKernel
+
+        n = 4
+        batch = ReplicaBatch(
+            n=n,
+            tasks=[
+                ReplicaTask(
+                    seed=0,
+                    algorithm=KernelToUniformTranslation(UniformVoting(n), 1),
+                    oracle=kernel_oracle(n, 0, 1),
+                    initial_values=shuffled_values(n, 0),
+                )
+            ],
+            max_rounds=8,
+        )
+        with pytest.raises(BatchUnsupported):
+            BatchTranslationKernel.from_batch(batch)
+
+    def test_mixed_f_is_rejected(self):
+        from repro.predimpl.batched_translation import BatchTranslationKernel
+
+        n = 7
+        batch = ReplicaBatch(
+            n=n,
+            tasks=[
+                ReplicaTask(
+                    seed=seed,
+                    algorithm=KernelToUniformTranslation(OneThirdRule(n), f),
+                    oracle=kernel_oracle(n, seed, f),
+                    initial_values=shuffled_values(n, seed),
+                )
+                for seed, f in ((0, 1), (1, 2))
+            ],
+            max_rounds=8,
+        )
+        with pytest.raises(BatchUnsupported):
+            BatchTranslationKernel.from_batch(batch)
+
+    def test_batch_backend_degrades_gracefully_for_uv_inner(self):
+        """An ineligible inner must not poison the batch backend -- it
+        falls back to per-replica scalar execution with equal outcomes."""
+        n = 4
+        def batch():
+            return ReplicaBatch(
+                n=n,
+                tasks=[
+                    ReplicaTask(
+                        seed=seed,
+                        algorithm=KernelToUniformTranslation(UniformVoting(n), 1),
+                        oracle=kernel_oracle(n, seed, 1),
+                        initial_values=shuffled_values(n, seed),
+                    )
+                    for seed in (3, 4)
+                ],
+                max_rounds=12,
+                fingerprints=True,
+            )
+
+        assert get_backend("batch").run(batch()) == get_backend("scalar").run(batch())
+
+    def test_translation_kernel_opts_out_of_super_batching(self):
+        from repro.predimpl.batched_translation import BatchTranslationKernel
+
+        assert BatchTranslationKernel.super_batchable is False

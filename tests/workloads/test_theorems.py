@@ -1,0 +1,161 @@
+"""The theorem scenario family: scalar/batched wire parity and sweep wiring.
+
+The ``ho-step-*`` and ``ho-theorem8-translation`` scenarios promise that a
+sweep cell produces identical per-replica wire records whichever execution
+backend runs it, and that the sweep's generic ``--backend`` choices
+resolve through the registered step-path aliases.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro._optional import have_numpy
+from repro.runner.registry import REGISTRY
+from repro.runner.sweep import RunSpec, run_sweep
+from repro.workloads.theorems import (
+    STEP_BACKEND_ALIASES,
+    build_step_batch,
+    run_step,
+    run_step_batch,
+    run_translation,
+    run_translation_batch,
+)
+
+needs_numpy = pytest.mark.skipif(not have_numpy(), reason="numpy not available")
+
+FAULT_MODELS = ("fault-free", "crash-stop", "crash-recovery", "lossy")
+
+
+class TestRegistration:
+    def test_scenarios_are_registered(self):
+        names = REGISTRY.scenario_names()
+        for name in ("ho-step-down-otr", "ho-step-arbitrary-otr", "ho-theorem8-translation"):
+            assert name in names
+            assert REGISTRY.batch_runner(name) is not None
+            assert REGISTRY.scenario_is_monitorable(name)
+
+    def test_step_scenarios_alias_the_generic_backends(self):
+        for requested, resolved in STEP_BACKEND_ALIASES.items():
+            assert REGISTRY.resolve_backend("ho-step-down-otr", requested) == resolved
+            assert REGISTRY.resolve_backend("ho-step-arbitrary-otr", requested) == resolved
+        # The round-level translation cell keeps the generic backends.
+        assert REGISTRY.resolve_backend("ho-theorem8-translation", "batch") == "batch"
+        # Unregistered scenarios pass every name through.
+        assert REGISTRY.resolve_backend("ho-classic-otr", "batch") == "batch"
+
+    def test_translation_cell_is_super_batch_food(self):
+        assert REGISTRY.batch_builder("ho-theorem8-translation") is not None
+
+
+class TestStepScenarioParity:
+    @pytest.mark.parametrize("fault_model", FAULT_MODELS)
+    def test_step_backends_agree_per_seed(self, fault_model):
+        seeds = [0, 1]
+        batched = run_step_batch(fault_model, n=4, seeds=seeds, backend="auto")
+        scalar = run_step_batch(fault_model, n=4, seeds=seeds, backend="scalar")
+        assert batched == scalar
+        assert all(record["solved"] for record in batched)
+
+    @pytest.mark.parametrize("kind", ["down-good", "arbitrary-good"])
+    def test_scalar_scenario_matches_the_wire_record(self, kind):
+        result = run_step("fault-free", n=4, seed=2, kind=kind)
+        (record,) = run_step_batch("fault-free", n=4, seeds=(2,), kind=kind)
+        assert result.solved == record["solved"]
+        assert result.verdict.termination == record["terminated"]
+        assert result.metrics.decided_processes == record["decided_processes"]
+        assert result.metrics.scope_size == record["scope_size"]
+        assert result.metrics.first_decision_time == record["first_decision_time"]
+        assert result.metrics.last_decision_time == record["last_decision_time"]
+        assert result.metrics.messages_sent == record["messages_sent"]
+
+    def test_arbitrary_kind_solves_with_translation(self):
+        result = run_step("fault-free", n=4, seed=0, kind="arbitrary-good")
+        assert result.solved
+        assert result.extra["f"] == 1
+        assert result.extra["use_translation"] is True
+
+    def test_keep_trace_attaches_the_step_trace(self):
+        result = run_step("fault-free", n=4, seed=0, keep_trace=True)
+        assert result.extra["trace"].decisions
+        slim = run_step("fault-free", n=4, seed=0)
+        assert "trace" not in slim.extra
+
+    def test_slim_records_pickle(self):
+        """Sweep records cross worker pools: no trace may ride along."""
+        plan = build_step_batch("fault-free", n=4, seeds=(0, 1))
+        records = run_step_batch("fault-free", n=4, seeds=(0, 1))
+        assert plan.batch.tasks[0].oracle is not None
+        pickle.dumps(records)
+
+    def test_monitored_step_run_reports_predicates(self):
+        result = run_step(
+            "fault-free", n=4, seed=0, predicates=("p_su",), run_full_horizon=False
+        )
+        assert result.extra["predicate_reports"]["p_su"]["rounds_observed"] > 0
+
+
+class TestTranslationScenarioParity:
+    @pytest.mark.parametrize("fault_model", FAULT_MODELS)
+    def test_backends_agree_per_seed(self, fault_model):
+        seeds = [0, 1, 2]
+        batched = run_translation_batch(fault_model, n=4, seeds=seeds, backend="auto")
+        scalar = run_translation_batch(fault_model, n=4, seeds=seeds, backend="scalar")
+        assert batched == scalar
+
+    def test_scalar_scenario_matches_the_wire_record(self):
+        result = run_translation("fault-free", n=4, seed=1)
+        (record,) = run_translation_batch("fault-free", n=4, seeds=(1,))
+        assert result.solved == record["solved"]
+        assert result.metrics.last_decision_round == int(record["last_decision_time"])
+        assert result.metrics.messages_sent == record["messages_sent"]
+
+    def test_decides_at_the_macro_round_cadence(self):
+        result = run_translation("fault-free", n=7, seed=0)
+        assert result.solved
+        per_macro = result.extra["rounds_per_macro"]
+        assert per_macro == result.extra["f"] + 1
+        assert result.metrics.last_decision_round % per_macro == 0
+
+    def test_scope_is_the_kernel_intersected_with_survivors(self):
+        result = run_translation("crash-stop", n=4, seed=0)
+        # f = 1: pi0 = {0, 1, 2}; the crash victim n-1 = 3 is an outsider.
+        assert result.metrics.scope_size == 3
+        assert result.solved
+
+
+class TestSweepIntegration:
+    def sweep(self, scenario, backend, fault_model="fault-free", replicas=3):
+        spec = RunSpec(
+            scenario=scenario, fault_model=fault_model, seed=0, n=4,
+            replicas=replicas, backend=backend,
+        )
+        (record,) = run_sweep([spec], workers=1).records
+        return record
+
+    @pytest.mark.parametrize(
+        "scenario", ["ho-step-down-otr", "ho-step-arbitrary-otr", "ho-theorem8-translation"]
+    )
+    def test_backend_axis_produces_identical_records(self, scenario):
+        batch = self.sweep(scenario, "batch")
+        scalar = self.sweep(scenario, "scalar")
+        auto = self.sweep(scenario, "auto")
+        for field in ("solved", "safe", "terminated", "decided_processes",
+                      "first_decision_time", "last_decision_time", "messages_sent"):
+            assert getattr(batch, field) == getattr(scalar, field) == getattr(auto, field)
+        assert batch.replicas["outcomes"] == scalar.replicas["outcomes"]
+        assert batch.replicas["outcomes"] == auto.replicas["outcomes"]
+
+    @needs_numpy
+    def test_step_cells_report_the_step_backend(self):
+        record = self.sweep("ho-step-down-otr", "batch")
+        assert record.replicas["backend"] == "step-batch"
+        fallback = self.sweep("ho-step-down-otr", "batch", fault_model="lossy")
+        assert fallback.replicas["backend"].startswith("step-batch:scalar-fallback")
+
+    def test_translation_cells_report_the_round_backend(self):
+        record = self.sweep("ho-theorem8-translation", "batch")
+        expected = "batch" if have_numpy() else "batch:scalar-fallback"
+        assert record.replicas["backend"].startswith(expected)
