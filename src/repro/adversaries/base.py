@@ -26,11 +26,13 @@ instances: one run seed controls every layer, and draws on one concern
 
 from __future__ import annotations
 
-import random
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from ..core.types import HOSet, ProcessId, Round, all_processes
 from ..engine.rng import SeededRng
+
+if TYPE_CHECKING:
+    import random
 from ..rounds.bitmask import full_mask, mask_of, mask_to_frozenset
 
 #: The callable shape every oracle satisfies (same as repro.core.machine.HOOracle).

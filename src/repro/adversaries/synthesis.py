@@ -20,8 +20,10 @@ library a witness is typically found within the first few attempts; a
 
 from __future__ import annotations
 
-import random
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+if TYPE_CHECKING:
+    import random
 
 from ..core.predicates import CommunicationPredicate
 from ..core.types import HOCollection, ProcessId, Round
@@ -149,7 +151,7 @@ def _candidate_single_uniform(n: int, rounds: int, stream: random.Random) -> HOC
     return collection
 
 
-CandidateGenerator = Callable[[int, int, random.Random], HOCollection]
+CandidateGenerator = Callable[[int, int, "random.Random"], HOCollection]
 
 #: The structured shapes the search draws from.  Deterministic shapes first:
 #: they are witnesses (or counterexamples) for most of the paper's

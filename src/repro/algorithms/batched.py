@@ -39,6 +39,7 @@ import abc
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
 
 from .._optional import require_numpy
+from ..rounds.fallback import FallbackReason
 from .last_voting import LastVoting
 from .one_third_rule import OneThirdRule
 from .uniform_voting import UniformVoting
@@ -68,15 +69,16 @@ def encode_values(initial_values: Sequence[Any]) -> Tuple[List[Any], List[int]]:
     try:
         table = sorted(set(initial_values))
     except TypeError as exc:
-        raise BatchUnsupported(f"initial values are not encodable: {exc}") from None
+        raise BatchUnsupported(
+            FallbackReason.UNENCODABLE_VALUES.render(error=exc)
+        ) from None
     index = {value: code for code, value in enumerate(table)}
     codes = []
     for value in initial_values:
         code = index[value]
         if repr(table[code]) != repr(value):
             raise BatchUnsupported(
-                f"values {table[code]!r} and {value!r} compare equal but differ "
-                "in repr; the code table cannot represent both"
+                FallbackReason.VALUE_REPR_COLLISION.render(kept=table[code], value=value)
             )
         codes.append(code)
     return table, codes

@@ -31,6 +31,7 @@ from ..rounds.backend import (
     ScalarBackend,
     register_backend,
 )
+from ..rounds.fallback import FallbackReason
 from .engine import BatchEngine
 
 
@@ -85,22 +86,26 @@ class BatchBackend:
 
     def _fallback_reason(self, batch: ReplicaBatch) -> Optional[str]:
         if self.force_fallback:
-            return "forced"
+            return FallbackReason.FORCED.render()
         if not have_numpy():
-            return "numpy unavailable (install the 'fast' extra)"
+            return FallbackReason.NO_NUMPY.render()
         from ..algorithms.batched import batch_kernel_for
 
         if any(task.algorithm.n != batch.n for task in batch.tasks):
             # The scalar loop raises for mis-sized algorithms; route the
             # batch there so both backends reject the same input identically.
-            return "algorithm size does not match the batch"
+            return FallbackReason.SIZE_MISMATCH.render()
         algorithm_classes = {type(task.algorithm) for task in batch.tasks}
         if len(algorithm_classes) != 1:
-            return f"mixed algorithm classes: {sorted(c.__name__ for c in algorithm_classes)}"
+            return FallbackReason.MIXED_ALGORITHMS.render(
+                classes=sorted(c.__name__ for c in algorithm_classes)
+            )
         if batch_kernel_for(batch.tasks[0].algorithm) is None:
-            return f"no batched kernel for {batch.tasks[0].algorithm.__class__.__name__}"
+            return FallbackReason.NO_BATCH_KERNEL.render(
+                algorithm=batch.tasks[0].algorithm.__class__.__name__
+            )
         if batch.monitor_factory is not None and batch.monitor_spec is None:
-            return "opaque monitor factory without a MonitorSpec"
+            return FallbackReason.OPAQUE_MONITOR.render()
         return None
 
     def _try_build_engine(

@@ -39,6 +39,7 @@ from ..rounds.backend import (
     register_backend,
 )
 from ..rounds.bitmask import iter_bits, word_count
+from ..rounds.fallback import FallbackReason
 from .arrays import popcount_words, unpack_words
 from .backends import BatchBackend
 
@@ -103,9 +104,9 @@ class SuperBatchBackend:
 
     def _eligibility(self, batch: ReplicaBatch) -> Tuple[Optional[str], Any]:
         if self.force_fallback:
-            return "forced", None
+            return FallbackReason.FORCED.render(), None
         if not have_numpy():
-            return "numpy unavailable (install the 'fast' extra)", None
+            return FallbackReason.NO_NUMPY.render(), None
         from ..algorithms.batched import (
             BatchUnsupported,
             batch_kernel_for,
@@ -113,17 +114,21 @@ class SuperBatchBackend:
         )
 
         if any(task.algorithm.n != batch.n for task in batch.tasks):
-            return "algorithm size does not match the batch", None
+            return FallbackReason.SIZE_MISMATCH.render(), None
         algorithm_classes = {type(task.algorithm) for task in batch.tasks}
         if len(algorithm_classes) != 1:
             return (
-                f"mixed algorithm classes: {sorted(c.__name__ for c in algorithm_classes)}",
+                FallbackReason.MIXED_ALGORITHMS.render(
+                    classes=sorted(c.__name__ for c in algorithm_classes)
+                ),
                 None,
             )
         kernel_class = batch_kernel_for(batch.tasks[0].algorithm)
         if kernel_class is None:
             return (
-                f"no batched kernel for {batch.tasks[0].algorithm.__class__.__name__}",
+                FallbackReason.NO_BATCH_KERNEL.render(
+                    algorithm=batch.tasks[0].algorithm.__class__.__name__
+                ),
                 None,
             )
         if not kernel_class.super_batchable:
@@ -131,16 +136,15 @@ class SuperBatchBackend:
             # kernel's embedded inner kernel) cannot be packed into a padded
             # mixed-n row space; they keep the per-cell batch path.
             return (
-                f"{kernel_class.__name__} does not super-batch "
-                "(per-cell row space only)",
+                FallbackReason.NOT_SUPER_BATCHABLE.render(kernel=kernel_class.__name__),
                 None,
             )
         if batch.monitor_factory is not None or batch.monitor_spec is not None:
             # Monitors are per-cell constructs (their arrays are sized to
             # the cell); monitored cells keep the per-cell batch path.
-            return "monitored runs take the per-cell batch path", None
+            return FallbackReason.MONITORED_PER_CELL.render(), None
         if batch.fingerprints:
-            return "fingerprinted runs take the per-cell batch path", None
+            return FallbackReason.FINGERPRINTED_PER_CELL.render(), None
         try:
             for task in batch.tasks:
                 encode_values(list(task.initial_values))

@@ -1,0 +1,113 @@
+"""The checked-in baseline of grandfathered findings.
+
+A baseline lets the linter gate *new* violations at zero while known,
+deliberately-accepted ones stay on the books with a visible inventory.
+Entries match findings by ``(code, path, stripped line text)`` -- never by
+line number, so unrelated edits do not invalidate the file -- and carry an
+optional human ``reason``.  Each entry has a ``count`` (the same line text
+can legitimately appear several times, e.g. two identical imports in two
+branches of one file).
+
+Stale entries -- baselined findings that no longer occur -- are reported so
+the file shrinks as debt is paid down; they are a warning, not an error.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+Key = Tuple[str, str, str]
+
+
+@dataclass
+class BaselineEntry:
+    code: str
+    path: str
+    line_text: str
+    count: int = 1
+    reason: str = ""
+
+    @property
+    def key(self) -> Key:
+        return (self.code, self.path, self.line_text)
+
+    def to_json(self) -> Dict[str, object]:
+        entry: Dict[str, object] = {
+            "code": self.code,
+            "path": self.path,
+            "line_text": self.line_text,
+            "count": self.count,
+        }
+        if self.reason:
+            entry["reason"] = self.reason
+        return entry
+
+
+class Baseline:
+    """A loaded baseline file, consumed finding by finding."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._remaining: Counter = Counter()
+        for entry in self.entries:
+            self._remaining[entry.key] += entry.count
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+        if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: not a repro.lint baseline (expected version {BASELINE_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                code=e["code"],
+                path=e["path"],
+                line_text=e["line_text"],
+                count=int(e.get("count", 1)),
+                reason=e.get("reason", ""),
+            )
+            for e in data.get("entries", [])
+        ]
+        return cls(entries)
+
+    def absorbs(self, finding: Finding) -> bool:
+        """Whether *finding* is grandfathered; consumes one count if so."""
+        if self._remaining.get(finding.baseline_key, 0) > 0:
+            self._remaining[finding.baseline_key] -= 1
+            return True
+        return False
+
+    def stale(self) -> List[BaselineEntry]:
+        """Entries with unconsumed counts: debt that has been paid down."""
+        return [
+            BaselineEntry(code=k[0], path=k[1], line_text=k[2], count=count)
+            for k, count in sorted(self._remaining.items())
+            if count > 0
+        ]
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding]) -> "Baseline":
+        counts: Counter = Counter(f.baseline_key for f in findings)
+        return cls(
+            BaselineEntry(code=code, path=path, line_text=text, count=count)
+            for (code, path, text), count in sorted(counts.items())
+        )
+
+    def write(self, path: str) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [e.to_json() for e in self.entries],
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+__all__ = ["Baseline", "BaselineEntry", "BASELINE_VERSION"]

@@ -1,0 +1,121 @@
+"""``python -m repro.lint`` -- the determinism & backend-parity linter.
+
+Exit codes: 0 clean, 1 findings, 2 usage error (argparse convention).
+
+Typical invocations::
+
+    python -m repro.lint src tests              # lint the repo (CI gate)
+    python -m repro.lint --list-rules           # what the REP0xx codes mean
+    python -m repro.lint src --format json      # machine-readable report
+    python -m repro.lint src --select REP001    # one rule only
+    python -m repro.lint src --update-baseline  # grandfather current findings
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import Baseline
+from .engine import lint_paths
+from .report import render_json, render_rule_list, render_text
+
+#: picked up automatically when present in the working directory, so the
+#: acceptance invocation ``python -m repro.lint src tests`` honours the
+#: checked-in baseline without extra flags.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static analysis for the reproduction's determinism and "
+            "backend-parity contracts (REP0xx determinism rules, REP1xx "
+            "registry parity audits)."
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="list every registered rule with its code and rationale, then exit",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=(
+            "baseline file of grandfathered findings "
+            f"(default: {DEFAULT_BASELINE} if it exists)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", nargs="+", default=None, metavar="CODE",
+        help="run only these rule codes (e.g. REP001 REP104)",
+    )
+    parser.add_argument(
+        "--no-audit", action="store_true",
+        help="skip the registry-introspection audit rules (REP1xx)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path(DEFAULT_BASELINE).is_file():
+        baseline_path = DEFAULT_BASELINE
+    baseline = None
+    if baseline_path is not None and not args.update_baseline:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            parser.error(f"cannot load baseline {baseline_path!r}: {exc}")
+
+    try:
+        result = lint_paths(
+            args.paths,
+            select=args.select,
+            baseline=baseline,
+            audit=not args.no_audit,
+            root=Path.cwd(),
+        )
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    except KeyError as exc:  # unknown --select code
+        parser.error(str(exc))
+
+    if args.update_baseline:
+        target = baseline_path or DEFAULT_BASELINE
+        Baseline.from_findings(result.findings).write(target)
+        print(
+            f"wrote {len(result.findings)} finding"
+            f"{'s' if len(result.findings) != 1 else ''} to {target}"
+        )
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(render_json(result), indent=2, sort_keys=True))
+    else:
+        print(render_text(result))
+    return 0 if result.clean else 1
+
+
+__all__ = ["main", "build_parser", "DEFAULT_BASELINE"]

@@ -1,0 +1,191 @@
+"""The lint engine: collect files, run rules, apply suppressions + baseline.
+
+One :func:`lint_paths` call is one lint invocation: every ``*.py`` file
+under the given paths is parsed once and handed to each applicable
+:class:`~repro.lint.rules.SourceRule`; the
+:class:`~repro.lint.rules.AuditRule` passes run once against the live
+registries.  Findings are then filtered through per-line suppressions
+(unused suppressions become REP007 findings) and the baseline; what
+remains is actionable and fails the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .baseline import Baseline, BaselineEntry
+from .findings import Finding, sort_findings
+from .rules import FileContext, audit_rules, rule_codes, source_rules
+from .suppressions import HYGIENE_CODE, parse_suppressions
+
+
+@dataclass
+class LintResult:
+    """Everything one lint invocation produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+def module_name_of(path: Path) -> Optional[str]:
+    """The dotted ``repro.*`` module a file belongs to, or None.
+
+    Works from the path shape alone (the last ``repro`` directory starts
+    the package), so it holds for ``src/repro/...`` in the repo, installed
+    trees, and test fixtures that mirror the layout.
+    """
+    parts = list(path.parts)
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            rel = parts[i:]
+            if not rel[-1].endswith(".py"):
+                return None
+            rel[-1] = rel[-1][: -len(".py")]
+            if rel[-1] == "__init__":
+                rel = rel[:-1]
+            return ".".join(rel)
+    return None
+
+
+def iter_python_files(paths: Sequence[str]) -> List[Path]:
+    """Every ``*.py`` file under *paths* (files pass through), sorted."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    seen = set()
+    unique = []
+    for f in files:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+def display_path(path: Path, root: Optional[Path]) -> str:
+    """The path findings/baselines are keyed by: root-relative, posix."""
+    if root is not None:
+        try:
+            return path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Baseline] = None,
+    audit: bool = True,
+    root: Optional[Path] = None,
+    project=None,
+) -> LintResult:
+    """Lint every python file under *paths*; returns the full result.
+
+    *select* restricts to specific rule codes (unused-suppression hygiene
+    is then skipped: a suppression for an unselected rule is not unused).
+    *audit* gates the registry introspection pass (REP1xx audit rules);
+    *project* injects a :class:`~repro.lint.parity.ProjectContext` (tests
+    use this to audit deliberately broken registries).
+    """
+    result = LintResult()
+    known = set(rule_codes())
+    active_source = source_rules(select)
+    check_unused = select is None
+
+    kept: List[Finding] = []
+    for file_path in iter_python_files(paths):
+        result.files += 1
+        shown = display_path(file_path, root)
+        module = module_name_of(file_path)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            ctx = FileContext.parse(
+                shown, module, source, is_package=file_path.name == "__init__.py"
+            )
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            kept.append(Finding(
+                code="REP000", path=shown, line=getattr(exc, "lineno", 1) or 1,
+                col=1, message=f"file does not parse: {exc}",
+            ))
+            continue
+        suppressions, hygiene = parse_suppressions(shown, ctx.lines, known)
+        file_findings: List[Finding] = []
+        for rule in active_source:
+            if rule.applies_to(module):
+                file_findings.extend(rule.check(ctx))
+        for finding in file_findings:
+            if suppressions.covers(finding.line, finding.code):
+                result.suppressed += 1
+            else:
+                kept.append(finding)
+        if select is None or HYGIENE_CODE in select:
+            kept.extend(hygiene)
+        if check_unused:
+            for line, code in suppressions.unused():
+                text = ctx.lines[line - 1].strip() if 0 < line <= len(ctx.lines) else ""
+                kept.append(Finding(
+                    code=HYGIENE_CODE, path=shown, line=line, col=1,
+                    message=f"unused suppression of {code} (nothing to suppress here)",
+                    line_text=text,
+                ))
+
+    if audit:
+        if project is None:
+            from .parity import ProjectContext
+
+            project = ProjectContext(root=root)
+        for rule in audit_rules(select):
+            kept.extend(_with_line_text(rule.audit(project), root))
+
+    if baseline is not None:
+        remaining = []
+        for finding in kept:
+            if baseline.absorbs(finding):
+                result.baselined += 1
+            else:
+                remaining.append(finding)
+        kept = remaining
+        result.stale_baseline = baseline.stale()
+
+    result.findings = sort_findings(kept)
+    return result
+
+
+def _with_line_text(findings: Iterable[Finding], root: Optional[Path]) -> List[Finding]:
+    """Fill in line text for audit findings (their rules only know paths)."""
+    out = []
+    cache = {}
+    for finding in findings:
+        if finding.line_text:
+            out.append(finding)
+            continue
+        if finding.path not in cache:
+            candidate = Path(finding.path)
+            if root is not None and not candidate.is_absolute():
+                candidate = root / candidate
+            try:
+                cache[finding.path] = candidate.read_text(encoding="utf-8").splitlines()
+            except OSError:
+                cache[finding.path] = []
+        lines = cache[finding.path]
+        text = lines[finding.line - 1] if 0 < finding.line <= len(lines) else ""
+        out.append(finding.with_line_text(text))
+    return out
+
+
+__all__ = ["LintResult", "iter_python_files", "lint_paths", "module_name_of"]

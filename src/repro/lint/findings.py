@@ -1,0 +1,47 @@
+"""The finding record every lint rule emits.
+
+A finding is one violation of one rule at one source location.  Its
+identity for baseline matching is deliberately *not* the line number --
+unrelated edits shift lines constantly -- but the triple ``(code, path,
+stripped source line text)``, which survives drift as long as the offending
+line itself is untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: the stripped text of the offending source line; filled in by the
+    #: engine (rules may leave it empty) and used for baseline matching.
+    line_text: str = field(default="", compare=False)
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """The drift-tolerant identity used by baseline files."""
+        return (self.code, self.path, self.line_text)
+
+    def with_line_text(self, text: str) -> "Finding":
+        return replace(self, line_text=text.strip())
+
+    def render(self) -> str:
+        """The one-line human form, ``path:line:col CODE message``."""
+        return f"{self.path}:{self.line}:{self.col} {self.code} {self.message}"
+
+
+def sort_findings(findings) -> list:
+    """Stable display order: by path, then line, then code."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+__all__ = ["Finding", "sort_findings"]

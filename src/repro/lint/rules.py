@@ -1,0 +1,200 @@
+"""The rule framework: base classes, the ``REP0xx`` registry, file context.
+
+Two rule shapes exist:
+
+* :class:`SourceRule` -- a per-file AST pass.  The engine parses each
+  scanned file once into a :class:`FileContext` and hands it to every
+  source rule whose :meth:`SourceRule.applies_to` accepts the file's
+  *module name* (``repro.batch.backends`` for
+  ``src/repro/batch/backends.py``; ``None`` for files outside the
+  package, e.g. tests).  Determinism rules scope themselves to
+  ``repro.*`` -- the hot paths whose bit-reproducibility the backends
+  promise -- so test code may keep its ad-hoc randomness.
+
+* :class:`AuditRule` -- a once-per-invocation introspection pass over the
+  *live* registries (:class:`~repro.lint.parity.ProjectContext`): it
+  imports the real code and cross-checks registrations the AST cannot see
+  (counter-dual signatures, kernel registrations, backend aliases).
+
+Rules are singletons registered by stable code (``REP001`` ...); the code
+is the suppression/baseline currency, so codes are never reused.
+"""
+
+from __future__ import annotations
+
+import abc
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from .findings import Finding
+
+
+@dataclass
+class FileContext:
+    """Everything a source rule may look at for one file."""
+
+    path: str
+    module: Optional[str]
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    #: whether this file is a package ``__init__`` (relative imports then
+    #: resolve against the module itself, not its parent).
+    is_package: bool = False
+
+    @classmethod
+    def parse(
+        cls, path: str, module: Optional[str], source: str, is_package: bool = False
+    ) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        return cls(path=path, module=module, source=source, tree=tree,
+                   lines=source.splitlines(), is_package=is_package)
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        text = self.lines[line - 1].strip() if 0 < line <= len(self.lines) else ""
+        return Finding(code=code, path=self.path, line=line, col=col,
+                       message=message, line_text=text)
+
+    def type_checking_lines(self) -> Set[int]:
+        """The line numbers inside ``if TYPE_CHECKING:`` blocks.
+
+        Imports under the guard exist only for annotations -- they never
+        execute, so they cannot introduce runtime nondeterminism; the
+        determinism rules skip them (it is the sanctioned way to keep a
+        ``random.Random`` *type* without a runtime ``random`` dependency).
+        """
+        guarded: Set[int] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+                for stmt in node.body:
+                    guarded.update(range(stmt.lineno, _end_line(stmt) + 1))
+        return guarded
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def _end_line(node: ast.AST) -> int:
+    return getattr(node, "end_lineno", getattr(node, "lineno", 1))
+
+
+def dotted_name(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule(abc.ABC):
+    """A registered check with a stable ``REP0xx`` code."""
+
+    #: stable code, the suppression/baseline currency (never reuse one).
+    code: str = ""
+    #: short kebab-case name for listings.
+    name: str = ""
+    #: one-line rationale shown by ``--list-rules``.
+    summary: str = ""
+
+
+class SourceRule(Rule):
+    """A per-file AST pass."""
+
+    def applies_to(self, module: Optional[str]) -> bool:
+        """Default scope: the ``repro`` package (the deterministic hot paths)."""
+        return module is not None and (module == "repro" or module.startswith("repro."))
+
+    @abc.abstractmethod
+    def check(self, ctx: FileContext) -> List[Finding]:
+        """The findings of this rule for one parsed file."""
+
+
+class AuditRule(Rule):
+    """A once-per-invocation introspection pass over the live registries."""
+
+    @abc.abstractmethod
+    def audit(self, project) -> List[Finding]:
+        """The findings of this rule for the project's registries."""
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register_rule(rule: Rule) -> Rule:
+    """Register *rule* under its code; codes are unique forever."""
+    if not rule.code:
+        raise ValueError(f"rule {type(rule).__name__} has no code")
+    if rule.code in _RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _RULES[rule.code] = rule
+    return rule
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in code order."""
+    _ensure_populated()
+    return [_RULES[code] for code in sorted(_RULES)]
+
+
+def rule_codes() -> List[str]:
+    _ensure_populated()
+    return sorted(_RULES)
+
+
+def get_rule(code: str) -> Rule:
+    _ensure_populated()
+    try:
+        return _RULES[code]
+    except KeyError:
+        raise KeyError(f"unknown rule {code!r}; known: {sorted(_RULES)}") from None
+
+
+def source_rules(select: Optional[Sequence[str]] = None) -> List[SourceRule]:
+    return [r for r in _selected(select) if isinstance(r, SourceRule)]
+
+
+def audit_rules(select: Optional[Sequence[str]] = None) -> List[AuditRule]:
+    return [r for r in _selected(select) if isinstance(r, AuditRule)]
+
+
+def _selected(select: Optional[Sequence[str]]) -> List[Rule]:
+    rules = all_rules()
+    if select is None:
+        return rules
+    wanted = set(select)
+    unknown = wanted - set(_RULES)
+    if unknown:
+        raise KeyError(f"unknown rule codes {sorted(unknown)}; known: {sorted(_RULES)}")
+    return [r for r in rules if r.code in wanted]
+
+
+def _ensure_populated() -> None:
+    """Import the rule modules whose import side-effect registers rules."""
+    from . import determinism, parity  # noqa: F401
+
+
+__all__ = [
+    "AuditRule",
+    "FileContext",
+    "Rule",
+    "SourceRule",
+    "all_rules",
+    "audit_rules",
+    "dotted_name",
+    "get_rule",
+    "register_rule",
+    "rule_codes",
+    "source_rules",
+]

@@ -1,0 +1,141 @@
+"""Per-line suppression comments and their hygiene.
+
+Two forms suppress a ``REP0xx`` finding on the line that carries them:
+
+* the house form -- ``# repro: noqa[REP001] -- reason`` (several codes:
+  ``noqa[REP001,REP005]``).  The ``-- reason`` clause is *mandatory*: a
+  suppression is a standing exception to a determinism contract, and the
+  justification must live next to it, not in a PR description.
+* the ruff-shared form -- ``# noqa: REP001`` -- accepted so one comment
+  can silence ruff and ``repro.lint`` together (the ruff config declares
+  the ``REP`` namespace via ``lint.external``).  Non-``REP`` codes in such
+  comments belong to ruff and are ignored here.
+
+A *bare* ``# noqa`` never suppresses a ``REP`` code: blanket waivers are
+exactly the reviewability hole the linter exists to close.
+
+Hygiene violations -- an unknown code, a house-form suppression without a
+reason, a suppression that matches no finding -- are themselves findings
+(REP007, emitted by :mod:`repro.lint.determinism` / the engine), so the
+suppression inventory can never rot silently.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from .findings import Finding
+
+#: the house form (the whole comment, nothing before it)
+REPRO_FORM = re.compile(
+    r"\A#\s*repro:\s*noqa\[(?P<codes>[^\]]*)\](?:\s*--\s*(?P<reason>\S.*?))?\s*$"
+)
+#: the ruff-shared form (likewise anchored at the comment start)
+RUFF_FORM = re.compile(
+    r"\A#\s*noqa:\s*(?P<codes>[A-Za-z]+\d+(?:\s*,\s*[A-Za-z]+\d+)*)"
+)
+_CODE_SHAPE = re.compile(r"^REP\d{3}$")
+
+HYGIENE_CODE = "REP007"
+
+
+@dataclass
+class Suppressions:
+    """The parsed suppression comments of one file."""
+
+    path: str
+    #: line -> suppressed codes on that line.
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (line, code) pairs that actually matched a finding.
+    used: Set[Tuple[int, str]] = field(default_factory=set)
+
+    def covers(self, line: int, code: str) -> bool:
+        """Whether *code* is suppressed on *line*; marks the suppression used."""
+        if code in self.by_line.get(line, ()):
+            self.used.add((line, code))
+            return True
+        return False
+
+    def unused(self) -> List[Tuple[int, str]]:
+        """The (line, code) suppressions that matched nothing."""
+        return sorted(
+            (line, code)
+            for line, codes in self.by_line.items()
+            for code in codes
+            if (line, code) not in self.used
+        )
+
+
+def parse_suppressions(
+    path: str, lines: List[str], known_codes: Set[str]
+) -> Tuple[Suppressions, List[Finding]]:
+    """Parse *lines*; returns the suppressions plus REP007 hygiene findings."""
+    suppressions = Suppressions(path=path)
+    hygiene: List[Finding] = []
+
+    def flag(line_no: int, message: str) -> None:
+        text = lines[line_no - 1].strip() if 0 < line_no <= len(lines) else ""
+        hygiene.append(
+            Finding(code=HYGIENE_CODE, path=path, line=line_no, col=1,
+                    message=message, line_text=text)
+        )
+
+    for line_no, text in _comments(lines):
+        if "noqa" not in text:
+            continue
+        house = REPRO_FORM.match(text)
+        if house is not None:
+            raw = [c.strip() for c in house.group("codes").split(",") if c.strip()]
+            if not raw:
+                flag(line_no, "empty 'repro: noqa[...]' suppression (no rule codes)")
+            if house.group("reason") is None:
+                flag(
+                    line_no,
+                    "suppression without a justification: write "
+                    "'# repro: noqa[CODE] -- reason'",
+                )
+            for code in raw:
+                if not _CODE_SHAPE.match(code):
+                    flag(line_no, f"malformed rule code {code!r} in suppression")
+                elif code not in known_codes:
+                    flag(line_no, f"unknown rule code {code!r} in suppression")
+                else:
+                    suppressions.by_line.setdefault(line_no, set()).add(code)
+            continue
+        shared = RUFF_FORM.match(text)
+        if shared is not None:
+            for code in (c.strip() for c in shared.group("codes").split(",")):
+                if not code.upper().startswith("REP"):
+                    continue  # ruff's business, not ours
+                if code not in known_codes:
+                    flag(line_no, f"unknown rule code {code!r} in suppression")
+                else:
+                    suppressions.by_line.setdefault(line_no, set()).add(code)
+    return suppressions, hygiene
+
+
+def _comments(lines: List[str]) -> List[Tuple[int, str]]:
+    """The real ``#`` comments of a file, as (line, comment text) pairs.
+
+    Tokenizing (rather than regex-scanning raw lines) keeps suppression
+    syntax *inside string literals* -- docstrings documenting the form,
+    test fixtures embedding snippets -- from being parsed as suppressions.
+    """
+    source = "".join(line + "\n" for line in lines)
+    out: List[Tuple[int, str]] = []
+    try:
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                out.append((tok.start[0], tok.string))
+    except (tokenize.TokenError, IndentationError):
+        # The engine only calls us after ast.parse succeeded, so this is
+        # unreachable in practice; degrade to no suppressions if it isn't.
+        pass
+    return out
+
+
+__all__ = ["HYGIENE_CODE", "Suppressions", "parse_suppressions"]

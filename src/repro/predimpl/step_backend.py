@@ -69,6 +69,7 @@ from ..rounds.backend import (
     register_backend,
 )
 from ..rounds.bitmask import iter_bits
+from ..rounds.fallback import FallbackReason
 from ..rounds.record import RoundRecord
 from ..sysmodel import (
     BadPeriodNetwork,
@@ -474,25 +475,19 @@ class BatchStepBackend:
         from .._optional import have_numpy
 
         if self.force_fallback:
-            return "forced"
+            return FallbackReason.FORCED.render()
         if not have_numpy():
-            return "numpy unavailable (install the 'fast' extra)"
+            return FallbackReason.NO_NUMPY.render()
         environments = {_environment_of(task) for task in batch.tasks}
         if len(environments) != 1:
-            return "replicas disagree on the step environment"
+            return FallbackReason.MIXED_STEP_ENVIRONMENTS.render()
         env = next(iter(environments))
         if env.kind != DOWN_GOOD:
-            return (
-                "the arbitrary-good stack does not vectorise "
-                "(INIT/round wire protocol; event-granular timing)"
-            )
+            return FallbackReason.ARBITRARY_GOOD_STACK.render()
         if env.fault_model != "fault-free":
-            return (
-                f"fault model {env.fault_model!r} breaks lockstep "
-                "(down processes and bad-period timing are event-granular)"
-            )
+            return FallbackReason.FAULTED_STEP_CELL.render(fault_model=env.fault_model)
         if batch.monitor_factory is not None or batch.monitor_spec is not None:
-            return "monitored step runs take the scalar step path"
+            return FallbackReason.MONITORED_STEP_PATH.render()
         return None
 
     # ------------------------------------------------------------------ #

@@ -23,6 +23,7 @@ from .backend import (
     get_backend,
     register_backend,
 )
+from .fallback import FallbackReason
 from .bitmask import (
     WORD_BITS,
     MaskMapping,
@@ -73,6 +74,7 @@ __all__ = [
     "register_backend",
     "backend_names",
     "get_backend",
+    "FallbackReason",
     # unified record schema
     "RoundRecord",
     "DecisionRecord",

@@ -1,0 +1,73 @@
+"""The closed vocabulary of backend fallback reasons.
+
+Every execution backend that can decline to vectorise a cell records *why*
+in ``last_fallback_reason`` (and the super backend per cell in
+``last_fallback_reasons``); the sweep executor stamps the reason into the
+wire record's backend label (``"super:cell-fallback (<reason>)"``), tests
+pin it, and the benchmark harness reports it.  Scattering the strings over
+the backends made the vocabulary drift-prone and impossible to audit, so
+they live here as one :class:`FallbackReason` enum: each member's value is
+the message template, :meth:`FallbackReason.render` formats it, and the
+``repro.lint`` parity rule REP104 statically rejects raw string literals in
+the backends' fallback decisions.
+
+This module sits in :mod:`repro.rounds` (below every backend) and depends
+only on the standard library, so the batch, super and step backends -- and
+:mod:`repro.algorithms.batched`, whose :class:`BatchUnsupported` messages
+become fallback reasons verbatim -- can all share it without cycles.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class FallbackReason(Enum):
+    """Why a backend declined its vectorised path for a cell.
+
+    Members' values are ``str.format`` templates; call :meth:`render` with
+    the template's keyword arguments to produce the recorded reason string.
+    The wording is part of the observable contract (wire-record backend
+    labels, pinned tests), so change it deliberately.
+    """
+
+    # -- shared by every decision layer ------------------------------- #
+    FORCED = "forced"
+    NO_NUMPY = "numpy unavailable (install the 'fast' extra)"
+
+    # -- the per-cell batch backend (repro.batch.backends) ------------- #
+    SIZE_MISMATCH = "algorithm size does not match the batch"
+    MIXED_ALGORITHMS = "mixed algorithm classes: {classes}"
+    NO_BATCH_KERNEL = "no batched kernel for {algorithm}"
+    OPAQUE_MONITOR = "opaque monitor factory without a MonitorSpec"
+
+    # -- value encoding (repro.algorithms.batched.encode_values) ------- #
+    UNENCODABLE_VALUES = "initial values are not encodable: {error}"
+    VALUE_REPR_COLLISION = (
+        "values {kept!r} and {value!r} compare equal but differ "
+        "in repr; the code table cannot represent both"
+    )
+
+    # -- the super-batch backend (repro.batch.super) ------------------- #
+    NOT_SUPER_BATCHABLE = "{kernel} does not super-batch (per-cell row space only)"
+    MONITORED_PER_CELL = "monitored runs take the per-cell batch path"
+    FINGERPRINTED_PER_CELL = "fingerprinted runs take the per-cell batch path"
+
+    # -- the step backend (repro.predimpl.step_backend) ---------------- #
+    MIXED_STEP_ENVIRONMENTS = "replicas disagree on the step environment"
+    ARBITRARY_GOOD_STACK = (
+        "the arbitrary-good stack does not vectorise "
+        "(INIT/round wire protocol; event-granular timing)"
+    )
+    FAULTED_STEP_CELL = (
+        "fault model {fault_model!r} breaks lockstep "
+        "(down processes and bad-period timing are event-granular)"
+    )
+    MONITORED_STEP_PATH = "monitored step runs take the scalar step path"
+
+    def render(self, **context: object) -> str:
+        """The recorded reason string: the member's template, formatted."""
+        return self.value.format(**context)
+
+
+__all__ = ["FallbackReason"]

@@ -21,13 +21,16 @@ driven by a seeded random generator so that runs are reproducible.
 from __future__ import annotations
 
 import itertools
-import random
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence
 
 from ..core.types import ProcessId
+from ..engine.rng import SeededRng
 from .params import SynchronyParams
 from .periods import PeriodSchedule
+
+if TYPE_CHECKING:
+    import random
 
 
 @dataclass(frozen=True)
@@ -110,8 +113,11 @@ class Network:
         self.good_delay_factor = good_delay_factor
         # The simulator injects the engine's "network" sub-stream here, so
         # bad-period link randomness is isolated from step/fault randomness;
-        # *seed* remains as a fallback for stand-alone Network construction.
-        self._rng = rng if rng is not None else random.Random(seed)
+        # *seed* remains as a fallback for stand-alone Network construction,
+        # drawing from the same named sub-stream a simulator-owned network
+        # would (so stand-alone and simulator-embedded networks with equal
+        # seeds see identical bad-period link behaviour).
+        self._rng = rng if rng is not None else SeededRng(seed).stream("network")
         self._sequence = itertools.count()
         #: messages in transit, per receiver (the paper's ``network_p``)
         self.network: Dict[ProcessId, List[Envelope]] = {p: [] for p in range(n)}

@@ -1,0 +1,85 @@
+"""Baseline matching, counts, staleness, and file round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import BASELINE_VERSION, Baseline, BaselineEntry
+from repro.lint.findings import Finding
+
+from .conftest import codes_of, run_lint
+
+
+def _finding(code="REP001", path="repro/mod.py", line=1, text="import random"):
+    return Finding(code=code, path=path, line=line, col=1,
+                   message="m", line_text=text)
+
+
+def test_absorbs_by_key_not_line_number():
+    baseline = Baseline([BaselineEntry("REP001", "repro/mod.py",
+                                       "import random")])
+    # same code/path/text on a *different* line still matches
+    assert baseline.absorbs(_finding(line=40))
+    # ...but only count times
+    assert not baseline.absorbs(_finding(line=41))
+
+
+def test_count_semantics():
+    baseline = Baseline([BaselineEntry("REP001", "repro/mod.py",
+                                       "import random", count=2)])
+    assert baseline.absorbs(_finding(line=1))
+    assert baseline.absorbs(_finding(line=9))
+    assert not baseline.absorbs(_finding(line=17))
+
+
+def test_stale_entries_are_reported():
+    baseline = Baseline([
+        BaselineEntry("REP001", "repro/mod.py", "import random"),
+        BaselineEntry("REP003", "repro/old.py", "time.time()"),
+    ])
+    baseline.absorbs(_finding())
+    stale = baseline.stale()
+    assert [entry.key for entry in stale] == [
+        ("REP003", "repro/old.py", "time.time()")
+    ]
+
+
+def test_file_round_trip(tmp_path):
+    original = Baseline.from_findings([
+        _finding(), _finding(line=7),  # identical key -> count 2
+        _finding(code="REP005", text="for x in {1}:"),
+    ])
+    target = tmp_path / "baseline.json"
+    original.write(str(target))
+    loaded = Baseline.load(str(target))
+    assert [e.key for e in loaded.entries] == [e.key for e in original.entries]
+    assert loaded.entries[0].count == 2
+    payload = json.loads(target.read_text())
+    assert payload["version"] == BASELINE_VERSION
+
+
+def test_version_mismatch_rejected(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(str(target))
+
+
+def test_engine_grandfathers_and_gates_new_findings(tmp_path):
+    files = {"repro/mod.py": "import random\n"}
+    first = run_lint(tmp_path, files)
+    baseline = Baseline.from_findings(first.findings)
+
+    # the grandfathered finding no longer fails the run...
+    again = run_lint(tmp_path, files, baseline=baseline)
+    assert again.clean
+    assert again.baselined == 1
+
+    # ...but a new violation in the same file still does
+    grown = {"repro/mod.py": "import random\nfrom time import time\n"}
+    gated = run_lint(tmp_path, grown,
+                     baseline=Baseline.from_findings(first.findings))
+    assert codes_of(gated) == ["REP003"]
+    assert gated.baselined == 1

@@ -1,0 +1,118 @@
+"""The ``python -m repro.lint`` CLI: flags, exit codes, repo round-trip."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import DEFAULT_BASELINE, main
+from repro.lint.report import JSON_SCHEMA
+from repro.lint.rules import rule_codes
+
+from .conftest import write_tree
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_TREE = {"repro/mod.py": "import random\nfrom time import time\n"}
+CLEAN_TREE = {"repro/mod.py": "VALUE = 1\n"}
+
+
+def test_list_rules_mentions_every_code(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in rule_codes():
+        assert code in out
+
+
+def test_exit_one_on_findings(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, BAD_TREE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["repro", "--no-audit"]) == 1
+    out = capsys.readouterr().out
+    assert "REP001" in out and "REP003" in out
+    assert "2 findings" in out
+
+
+def test_exit_zero_on_clean_tree(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, CLEAN_TREE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["repro", "--no-audit"]) == 0
+    assert "0 findings" in capsys.readouterr().out
+
+
+def test_json_format(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, BAD_TREE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["repro", "--no-audit", "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema"] == JSON_SCHEMA
+    assert payload["summary"]["findings"] == 2
+    assert payload["summary"]["clean"] is False
+    assert {f["code"] for f in payload["findings"]} == {"REP001", "REP003"}
+
+
+def test_select_restricts_rules(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, BAD_TREE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["repro", "--no-audit", "--select", "REP003"]) == 1
+    out = capsys.readouterr().out
+    assert "REP003" in out and "REP001" not in out
+
+
+def test_unknown_select_code_is_a_usage_error(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, CLEAN_TREE)
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["repro", "--no-audit", "--select", "REP999"])
+    assert excinfo.value.code == 2
+
+
+def test_update_baseline_round_trip(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, BAD_TREE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["repro", "--no-audit", "--update-baseline"]) == 0
+    assert "wrote 2 findings" in capsys.readouterr().out
+    assert (tmp_path / DEFAULT_BASELINE).is_file()
+    # the default baseline in cwd is picked up without a flag
+    assert main(["repro", "--no-audit"]) == 0
+    assert "2 baselined" in capsys.readouterr().out
+
+
+def test_stale_baseline_is_reported_not_fatal(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, BAD_TREE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["repro", "--no-audit", "--update-baseline"]) == 0
+    capsys.readouterr()
+    # pay down one of the two grandfathered findings
+    write_tree(tmp_path, {"repro/mod.py": "import random\n"})
+    assert main(["repro", "--no-audit"]) == 0
+    out = capsys.readouterr().out
+    assert "stale baseline" in out
+
+
+def test_unloadable_baseline_is_a_usage_error(tmp_path, monkeypatch):
+    write_tree(tmp_path, CLEAN_TREE)
+    (tmp_path / "bogus.json").write_text("{}")
+    monkeypatch.chdir(tmp_path)
+    with pytest.raises(SystemExit) as excinfo:
+        main(["repro", "--no-audit", "--baseline", "bogus.json"])
+    assert excinfo.value.code == 2
+
+
+def test_repo_lints_clean():
+    """The acceptance invocation: the repo itself carries zero findings."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(REPO_ROOT / "src"), env.get("PYTHONPATH")) if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "src", "tests"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 findings" in proc.stdout

@@ -1,0 +1,110 @@
+"""Suppression parsing and REP007 hygiene."""
+
+from __future__ import annotations
+
+from .conftest import codes_of, run_lint
+
+
+def test_house_form_suppresses_and_counts(tmp_path):
+    result = run_lint(tmp_path, {
+        "repro/mod.py": "import random  # repro: noqa[REP001] -- fixture\n",
+    })
+    assert result.clean
+    assert result.suppressed == 1
+
+
+def test_house_form_covers_multiple_codes(tmp_path):
+    line = ("import random  "
+            "# repro: noqa[REP001,REP003] -- fixture hits two rules\n")
+    # only REP001 fires here, so the REP003 half of the comment is unused
+    result = run_lint(tmp_path, {"repro/mod.py": line})
+    assert result.suppressed == 1
+    assert codes_of(result) == ["REP007"]
+    assert "unused suppression of REP003" in result.findings[0].message
+
+
+def test_ruff_shared_form_suppresses(tmp_path):
+    result = run_lint(tmp_path, {
+        "repro/mod.py": "import random  # noqa: REP001\n",
+    })
+    assert result.clean
+    assert result.suppressed == 1
+
+
+def test_ruff_form_ignores_foreign_codes(tmp_path):
+    # F401 belongs to ruff; our linter neither uses nor complains about it.
+    result = run_lint(tmp_path, {
+        "repro/mod.py": "import random  # noqa: REP001, F401\n",
+    })
+    assert result.clean
+    assert result.suppressed == 1
+
+
+def test_bare_noqa_never_suppresses(tmp_path):
+    result = run_lint(tmp_path, {
+        "repro/mod.py": "import random  # noqa\n",
+    })
+    assert codes_of(result) == ["REP001"]
+    assert result.suppressed == 0
+
+
+def test_missing_reason_is_flagged_but_still_suppresses(tmp_path):
+    result = run_lint(tmp_path, {
+        "repro/mod.py": "import random  # repro: noqa[REP001]\n",
+    })
+    assert result.suppressed == 1
+    assert codes_of(result) == ["REP007"]
+    assert "justification" in result.findings[0].message
+
+
+def test_unknown_code_is_flagged(tmp_path):
+    result = run_lint(tmp_path, {
+        "repro/mod.py": "x = 1  # repro: noqa[REP999] -- no such rule\n",
+    })
+    assert codes_of(result) == ["REP007"]
+    assert "unknown rule code 'REP999'" in result.findings[0].message
+
+
+def test_malformed_code_is_flagged(tmp_path):
+    result = run_lint(tmp_path, {
+        "repro/mod.py": "x = 1  # repro: noqa[REP01] -- too short\n",
+    })
+    assert codes_of(result) == ["REP007"]
+    assert "malformed" in result.findings[0].message
+
+
+def test_unused_suppression_is_flagged(tmp_path):
+    result = run_lint(tmp_path, {
+        "repro/mod.py": "x = 1  # repro: noqa[REP001] -- nothing here\n",
+    })
+    assert codes_of(result) == ["REP007"]
+    assert "unused" in result.findings[0].message
+
+
+def test_unused_check_skipped_under_select(tmp_path):
+    # With --select, a suppression for an unselected rule is not "unused".
+    result = run_lint(
+        tmp_path,
+        {"repro/mod.py": "x = 1  # repro: noqa[REP001] -- held for REP001\n"},
+        select=["REP005"],
+    )
+    assert result.clean
+
+
+def test_suppression_syntax_inside_strings_is_inert(tmp_path):
+    source = '''\
+        DOC = """the form is `# repro: noqa[REP001] -- reason`"""
+        EXAMPLE = "import random  # noqa: REP001"
+    '''
+    result = run_lint(tmp_path, {"repro/mod.py": source})
+    assert result.clean, [f.render() for f in result.findings]
+    assert result.suppressed == 0
+
+
+def test_hygiene_applies_outside_the_package_too(tmp_path):
+    # No repro/ directory in the path: determinism rules don't apply, but
+    # suppression hygiene (REP007) still does.
+    result = run_lint(tmp_path, {
+        "helpers/util.py": "x = 1  # repro: noqa[REP999] -- bogus\n",
+    })
+    assert codes_of(result) == ["REP007"]
