@@ -1,0 +1,285 @@
+#!/usr/bin/env python3
+"""Compiled-tier throughput benchmark: the JIT'd kernels vs the numpy batch.
+
+Runs the same 9-cell sweep grid as ``bench_batch_scaling`` -- classic
+OneThirdRule cells plus the four counter-stream dynamic families -- on the
+numpy batch backend and on the compiled backend, and reports the per-cell
+and aggregate wall-clock ratio.  The batch backend pays one numpy array
+program per round; the compiled backend fuses the whole round loop into a
+single nopython call per (K, R, n, W) word chunk, so the speedup is
+per-round dispatch elimination on top of the vectorisation the batch tier
+already bought.
+
+JIT compilation cost is excluded: every kernel is warmed up on a tiny grid
+before any timed run (numba caches per code object and signature, so the
+small warm-up covers the timed shapes).
+
+Every cell is verified before its timing is accepted: the compiled
+outcomes must equal the batch outcomes replica for replica at full scale,
+and both must equal the scalar reference on a reduced replica subset
+(``--verify-replicas``) -- the same bit-identity contract the parity suite
+in ``tests/compiled`` pins.
+
+Without numba the compiled backend degrades per cell to the numpy batch
+path (bit-identically, with a recorded reason), so the speedup reads ~1x
+and the ``--assert-speedup`` floor is skipped rather than failed; CI runs
+the floor on a leg that installs the ``fast`` extra (numpy + numba).
+
+Emits ``BENCH_compiled.json`` (schema ``repro-bench-compiled/1``) next to
+the other BENCH artifacts::
+
+    python benchmarks/bench_compiled_kernels.py --replicas 256 --rounds 30
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional
+
+sys.path.insert(0, os.path.dirname(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from bench_batch_scaling import GRID_CELLS, build_grid_plans  # noqa: E402
+
+from repro._optional import have_numba, have_numpy  # noqa: E402
+from repro.compiled import CompiledBackend  # noqa: E402
+from repro.rounds.backend import get_backend  # noqa: E402
+
+SCHEMA = "repro-bench-compiled/1"
+
+
+def _build_cell_plan(index: int, n: int, replicas: int, rounds: int):
+    """A fresh CellPlan for one GRID_CELLS entry (oracles are stateful, so
+    every timed run gets its own)."""
+    return build_grid_plans(n, replicas, rounds)[index]
+
+
+def _make_compiled(interpreted: bool) -> CompiledBackend:
+    return CompiledBackend(interpreted=interpreted)
+
+
+def warm_up(make_compiled: Callable[[], Any], rounds: int) -> None:
+    """Trigger JIT compilation of every chunk core off the clock.
+
+    A tiny grid touches all four compiled kernels' code paths; numba
+    compiles per code object and signature, so the timed full-size runs
+    reuse these compilations.
+    """
+    for plan in build_grid_plans(8, 2, min(rounds, 4)):
+        make_compiled().run(plan.batch)
+
+
+def time_cell(
+    make_backend: Callable[[], Any],
+    index: int,
+    n: int,
+    replicas: int,
+    rounds: int,
+    repeats: int,
+):
+    """Best-of-*repeats* wall clock for one grid cell on one backend.
+
+    Returns ``(seconds, finalized_outcome, last_fallback_reason)``.
+    """
+    best = float("inf")
+    finalized = None
+    reason = None
+    for _ in range(repeats):
+        plan = _build_cell_plan(index, n, replicas, rounds)
+        backend = make_backend()
+        started = time.perf_counter()
+        cells = backend.run(plan.batch)
+        best = min(best, time.perf_counter() - started)
+        finalized = plan.finalize(cells)
+        reason = getattr(backend, "last_fallback_reason", None)
+    return best, finalized, reason
+
+
+def verify_against_scalar(
+    make_compiled: Callable[[], Any], n: int, replicas: int, rounds: int
+) -> None:
+    """Pin compiled == batch == scalar on a reduced-replica copy of the grid.
+
+    The scalar loop at the full benchmark scale would dominate the bench's
+    own runtime, so the three-way check runs on ``replicas`` seeds per cell
+    -- the full-scale compiled-vs-batch equality is asserted separately on
+    the timed outcomes.
+    """
+    scalar = get_backend("scalar")
+    batch = get_backend("batch")
+    for index, (scenario, fault_model) in enumerate(GRID_CELLS):
+        reference = None
+        for backend in (scalar, batch, make_compiled()):
+            plan = _build_cell_plan(index, n, replicas, rounds)
+            finalized = plan.finalize(backend.run(plan.batch))
+            if reference is None:
+                reference = finalized
+            else:
+                assert finalized == reference, (
+                    f"backend divergence vs scalar at {scenario}/{fault_model}"
+                )
+
+
+def benchmark(
+    n: int,
+    replicas: int,
+    rounds: int,
+    repeats: int,
+    verify_replicas: int,
+    interpreted: bool,
+) -> Dict[str, Any]:
+    def make_compiled() -> CompiledBackend:
+        return _make_compiled(interpreted)
+
+    warm_up(make_compiled, rounds)
+    verify_against_scalar(make_compiled, n, min(verify_replicas, replicas), rounds)
+
+    results = []
+    total_batch = 0.0
+    total_compiled = 0.0
+    engaged = 0
+    for index, (scenario, fault_model) in enumerate(GRID_CELLS):
+        batch_seconds, batch_outcome, _ = time_cell(
+            lambda: get_backend("batch"), index, n, replicas, rounds, repeats
+        )
+        compiled_seconds, compiled_outcome, reason = time_cell(
+            make_compiled, index, n, replicas, rounds, repeats
+        )
+        assert compiled_outcome == batch_outcome, (
+            f"backend divergence at {scenario}/{fault_model}"
+        )
+        speedup = batch_seconds / compiled_seconds
+        if reason is None:
+            engaged += 1
+        total_batch += batch_seconds
+        total_compiled += compiled_seconds
+        results.append(
+            {
+                "scenario": scenario,
+                "fault_model": fault_model,
+                "n": n,
+                "replicas": replicas,
+                "rounds": rounds,
+                "batch_seconds": round(batch_seconds, 6),
+                "compiled_seconds": round(compiled_seconds, 6),
+                "speedup": round(speedup, 2),
+                "compiled_engaged": reason is None,
+                "fallback_reason": reason,
+            }
+        )
+        print(
+            f"{scenario:<42} {fault_model:<16} "
+            f"batch: {batch_seconds * 1e3:8.1f}ms   "
+            f"compiled: {compiled_seconds * 1e3:8.1f}ms   "
+            f"speedup: {speedup:6.2f}x"
+            + ("" if reason is None else f"   [fell back: {reason}]")
+        )
+
+    aggregate_speedup = total_batch / total_compiled
+    print(
+        f"aggregate over {len(GRID_CELLS)} cells (n={n}, R={replicas}): "
+        f"batch {total_batch * 1e3:.1f}ms vs compiled "
+        f"{total_compiled * 1e3:.1f}ms -- {aggregate_speedup:.2f}x"
+    )
+    return {
+        "schema": SCHEMA,
+        "numpy": have_numpy(),
+        "numba": have_numba(),
+        "interpreted": interpreted,
+        "n": n,
+        "replicas": replicas,
+        "rounds": rounds,
+        "repeats": repeats,
+        "verify_replicas": min(verify_replicas, replicas),
+        "results": results,
+        "aggregate": {
+            "cells": len(GRID_CELLS),
+            "cells_engaged": engaged,
+            "batch_seconds": round(total_batch, 6),
+            "compiled_seconds": round(total_compiled, 6),
+            "speedup": round(aggregate_speedup, 2),
+        },
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--n", type=int, default=64,
+        help="system size of every grid cell (default: 64)",
+    )
+    parser.add_argument(
+        "--replicas", type=int, default=256,
+        help="replicas per grid cell (default: 256)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=30,
+        help="round horizon of the grid cells (default: 30)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="timing repeats, best-of (default: 3)"
+    )
+    parser.add_argument(
+        "--verify-replicas", type=int, default=8,
+        help="replicas per cell for the scalar three-way check (default: 8)",
+    )
+    parser.add_argument(
+        "--interpreted", action="store_true",
+        help="run the compiled cores under CPython (debug; slow at scale)",
+    )
+    parser.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="FLOOR",
+        help="fail unless the aggregate speedup reaches FLOOR with every "
+             "cell on the compiled path (skipped when numba is unavailable)",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_compiled.json",
+        help="output path (default: BENCH_compiled.json)",
+    )
+    args = parser.parse_args(argv)
+
+    if not have_numpy():
+        print(
+            "error: the compiled-vs-batch benchmark needs numpy "
+            "(install the 'fast' extra)",
+            file=sys.stderr,
+        )
+        return 2
+
+    payload = benchmark(
+        args.n, args.replicas, args.rounds, args.repeats,
+        args.verify_replicas, args.interpreted,
+    )
+    with open(args.json, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.json}")
+
+    if args.assert_speedup is not None:
+        if not have_numba() or args.interpreted:
+            print(
+                "numba unavailable (or --interpreted): the compiled backend "
+                "degraded to the batch path, skipping the "
+                f">= {args.assert_speedup}x floor",
+                file=sys.stderr,
+            )
+            return 0
+        aggregate = payload["aggregate"]
+        assert aggregate["cells_engaged"] == aggregate["cells"], (
+            "cells fell back off the compiled path",
+            [r for r in payload["results"] if not r["compiled_engaged"]],
+        )
+        assert aggregate["speedup"] >= args.assert_speedup, aggregate
+        print(
+            f"aggregate speedup {aggregate['speedup']}x meets the "
+            f">= {args.assert_speedup}x floor"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -195,6 +195,31 @@ def main() -> None:
               f"backend={record.replicas['backend']:<7} "
               f"solve_rate={cell['solve_rate']:.2f} "
               f"(over {cell['replicas']} replicas)")
+    print()
+
+    # The compiled tier: backend="compiled" fuses each cell's WHOLE round
+    # loop into one nopython call per word chunk -- numba JIT-compiles the
+    # chunk cores when it is importable (the "compiled" extra; "fast"
+    # pulls it in), and without numba every cell degrades to the numpy
+    # batch path with the reason recorded on the cell record.  Outcomes
+    # are bit-identical on every tier, so which one executed is purely a
+    # performance fact, not a scientific one.
+    print("--- the compiled tier: JIT'd round loops (or a recorded fallback) ---")
+    from repro._optional import have_numba
+
+    result = run_sweep(
+        build_grid(
+            ["ho-classic-otr", "ho-round-bursty-loss"], ["fault-free"], seeds=[0], n=8
+        ),
+        replicas=32,
+        backend="compiled",
+    )
+    print(f"numba importable: {have_numba()}")
+    for record in result.records:
+        cell = record.replicas["aggregates"]
+        print(f"{record.scenario:<26} backend={record.replicas['backend']} "
+              f"solve_rate={cell['solve_rate']:.2f} "
+              f"(over {cell['replicas']} replicas)")
 
 
 if __name__ == "__main__":

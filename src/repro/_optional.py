@@ -1,15 +1,24 @@
 """Optional third-party dependencies, resolved once per process.
 
-The only optional dependency today is numpy, shipped as the ``fast`` extra
-(``pip install repro-hutle-schiper-2007[fast]``): the batch execution
-backend (:mod:`repro.batch`) vectorises replica batches with it, and every
-consumer degrades to a pure-Python path when it is absent.  All numpy users
-go through :data:`NUMPY` / :func:`have_numpy` so there is exactly one
-import-guard in the code base.
+Two optional dependencies exist today, both shipped via extras:
 
-Set ``REPRO_DISABLE_NUMPY=1`` in the environment to pretend numpy is not
-installed -- CI uses this (and a genuinely numpy-free matrix leg) to keep
-the fallback path honest.
+* **numpy** (the ``fast`` extra): the batch execution backend
+  (:mod:`repro.batch`) vectorises replica batches with it, and every
+  consumer degrades to a pure-Python path when it is absent.
+* **numba** (the ``compiled`` extra, also pulled in by ``fast``): the
+  compiled kernel tier (:mod:`repro.compiled`) JITs the batched transition
+  kernels and the splitmix64 counter path; without it every compiled cell
+  degrades to the numpy batch path (and further to scalar) with identical
+  results.
+
+All users go through :data:`NUMPY` / :func:`have_numpy` and
+:data:`NUMBA` / :func:`have_numba` so there is exactly one import-guard
+per dependency in the code base.
+
+Set ``REPRO_DISABLE_NUMPY=1`` or ``REPRO_DISABLE_NUMBA=1`` in the
+environment to pretend the dependency is not installed -- CI uses these
+(and genuinely dependency-free matrix legs) to keep the fallback paths
+honest.
 """
 
 from __future__ import annotations
@@ -34,6 +43,24 @@ def _load_numpy() -> Optional[Any]:
 NUMPY = _load_numpy()
 
 
+def _load_numba() -> Optional[Any]:
+    # The compiled tier operates on numpy arrays; numba without numpy is
+    # not a configuration the kernels can run under.
+    if os.environ.get("REPRO_DISABLE_NUMBA") or NUMPY is None:
+        return None
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba
+
+
+#: The numba module, or None when unavailable (not installed, disabled via
+#: ``REPRO_DISABLE_NUMBA``, or numpy itself is unavailable).  Resolved at
+#: import time, like :data:`NUMPY`.
+NUMBA = _load_numba()
+
+
 def have_numpy() -> bool:
     """Whether the vectorised (numpy) paths are available in this process."""
     return NUMPY is not None
@@ -50,4 +77,27 @@ def require_numpy() -> Any:
     return NUMPY
 
 
-__all__ = ["NUMPY", "have_numpy", "require_numpy"]
+def have_numba() -> bool:
+    """Whether the compiled (numba) kernel tier is available in this process."""
+    return NUMBA is not None
+
+
+def require_numba() -> Any:
+    """Return numba or raise a pointed error naming the ``compiled`` extra."""
+    if NUMBA is None:
+        raise RuntimeError(
+            "this code path needs numba; install the 'compiled' extra "
+            "(pip install 'repro-hutle-schiper-2007[compiled]') or use the "
+            "numpy batch / pure-Python scalar backends"
+        )
+    return NUMBA
+
+
+__all__ = [
+    "NUMBA",
+    "NUMPY",
+    "have_numba",
+    "have_numpy",
+    "require_numba",
+    "require_numpy",
+]

@@ -30,7 +30,7 @@ from typing import Any, Optional, Sequence
 
 from .._optional import require_numpy
 from ..batch.arrays import pack_bools
-from ..engine.counter import counter_hash_array, units_of_array
+from ..engine.counter import counter_hash_array, units_of_counters
 from ..rounds.bitmask import WORD_BITS, word_count
 from .classic import CounterKernelOracle
 from .dynamic import (
@@ -138,13 +138,10 @@ class RotatingPartitionBatchDual(_CounterDualBase):
             if self._assignment is None:
                 assignment = block_draw
             else:
-                churn_u = units_of_array(
+                churn_u = units_of_counters(
                     np,
-                    counter_hash_array(
-                        np,
-                        self.keys[:, None],
-                        [np.uint64(0), np.uint64(e), self._arange],
-                    ),
+                    self.keys[:, None],
+                    [np.uint64(0), np.uint64(e), self._arange],
                 )
                 assignment = np.where(
                     churn_u < self.churn, block_draw, self._assignment
@@ -205,16 +202,16 @@ class BurstyLossBatchDual(_CounterDualBase):
         while self._computed_round < round:
             self._computed_round += 1
             r = np.uint64(self._computed_round)
-            u_state = units_of_array(
-                np, counter_hash_array(np, keys, [np.uint64(0), r, p_axis, q_axis])
+            u_state = units_of_counters(
+                np, keys, [np.uint64(0), r, p_axis, q_axis]
             )
             bursty = np.where(
                 self._bursty, u_state >= self.p_recover, u_state < self.p_burst
             )
             self._bursty = bursty
             loss = np.where(bursty, self.loss_burst, self.loss_good)
-            u_loss = units_of_array(
-                np, counter_hash_array(np, keys, [np.uint64(1), r, p_axis, q_axis])
+            u_loss = units_of_counters(
+                np, keys, [np.uint64(1), r, p_axis, q_axis]
             )
             heard = self._eye | (u_loss >= loss)
             self._round_words = pack_bools(heard, self.n)
@@ -258,22 +255,16 @@ class EventuallyStableCoordinatorBatchDual(_CounterDualBase):
         n = self.n
         pretender = counter_hash_array(np, self.keys, [np.uint64(0), r]) % np.uint64(n)
         heard = (
-            units_of_array(
+            units_of_counters(
                 np,
-                counter_hash_array(
-                    np,
-                    self.keys[:, None, None],
-                    [np.uint64(2), r, self._arange[:, None], self._arange[None, :]],
-                ),
+                self.keys[:, None, None],
+                [np.uint64(2), r, self._arange[:, None], self._arange[None, :]],
             )
             < self.background_probability
         )
         flaky_ok = (
-            units_of_array(
-                np,
-                counter_hash_array(
-                    np, self.keys[:, None], [np.uint64(1), r, self._arange]
-                ),
+            units_of_counters(
+                np, self.keys[:, None], [np.uint64(1), r, self._arange]
             )
             >= self.flaky_probability
         )
@@ -313,17 +304,11 @@ class CounterKernelBatchDual(_CounterDualBase):
         p_axis = self._arange[:, None]
         q_axis = self._arange[None, :]
         extras = (
-            units_of_array(
-                np, counter_hash_array(np, keys, [np.uint64(0), r, p_axis, q_axis])
-            )
-            < 0.5
+            units_of_counters(np, keys, [np.uint64(0), r, p_axis, q_axis]) < 0.5
         ) & (~self._member)[None, None, :]
         member_words = pack_bools(extras, self.n) | self._pi0_words[None, None, :]
         outsider = (
-            units_of_array(
-                np, counter_hash_array(np, keys, [np.uint64(1), r, p_axis, q_axis])
-            )
-            < 0.5
+            units_of_counters(np, keys, [np.uint64(1), r, p_axis, q_axis]) < 0.5
         )
         outsider_words = pack_bools(outsider, self.n) | self._self_bits[None, :, :]
         return np.where(

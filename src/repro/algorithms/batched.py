@@ -171,6 +171,24 @@ class BatchKernel(abc.ABC):
         (receiver-major); inactive replicas' state must not change.
         """
 
+    def _scratch(self, name: str, shape: Tuple[int, ...], dtype: Any) -> Any:
+        """A reusable uninitialised buffer keyed by *name*.
+
+        ``step`` runs every round over the same ``(R, n)`` shapes, so its
+        large temporaries (one-hot tables, float matmul operands) are
+        allocated once here and rewritten in place each round instead of
+        churning fresh arrays.  A buffer is reallocated when the requested
+        shape or dtype changes -- row compaction shrinks R mid-run.  The
+        store is created on first use (``self.__dict__``) because not every
+        kernel routes through :meth:`BatchKernel.__init__`.
+        """
+        buffers = self.__dict__.setdefault("_scratch_buffers", {})
+        buffer = buffers.get(name)
+        if buffer is None or buffer.shape != shape or buffer.dtype != dtype:
+            buffer = self.np.empty(shape, dtype=dtype)
+            buffers[name] = buffer
+        return buffer
+
     def _record_decisions(self, round: int, fire: Any, value_codes: Any) -> None:
         """Latch first decisions: where *fire*, decide *value_codes* at *round*."""
         np = self.np
@@ -285,8 +303,13 @@ class BatchOneThirdRule(BatchKernel):
 
         # Multiplicity of every value code among heard senders, via one
         # batched matmul: counts[r, p, v] = |{q in HO(p) : x_q = v}|.
-        onehot = (x[:, :, None] == np.arange(n, dtype=np.int32)).astype(np.float32)
-        counts = np.matmul(heard.astype(np.float32), onehot)        # (R, n, n)
+        shape = (self.replicas, n, n)
+        onehot = self._scratch("otr_onehot", shape, np.float32)
+        np.equal(x[:, :, None], np.arange(n, dtype=np.int32), out=onehot)
+        heard_f = self._scratch("otr_heard_f32", shape, np.float32)
+        np.copyto(heard_f, heard)
+        counts = self._scratch("otr_counts", shape, np.float32)
+        np.matmul(heard_f, onehot, out=counts)                      # (R, n, n)
         top = counts.max(axis=2)                                    # (R, n) float
         top_i = top.astype(np.int32)
 

@@ -30,17 +30,29 @@ def mask_from_words_row(row: Iterable[int]) -> int:
     return words_to_mask(int(word) for word in row)
 
 
-def unpack_words(words: Any, n: int) -> Any:
+def unpack_words(words: Any, n: int, out: Any = None, bits: Any = None) -> Any:
     """Unpack a ``(..., W)`` uint64 word array into a ``(..., n)`` bool array.
 
     Bit ``q`` of the mask becomes column ``q``; the padding bits above ``n``
-    in the last word are dropped.
+    in the last word are dropped.  The round loops call this once per round,
+    so both temporaries accept caller-owned buffers: *out* is the
+    ``(..., n)`` bool result, *bits* the ``(..., W, 64)`` uint64
+    intermediate.
     """
     np = require_numpy()
     shifts = np.arange(WORD_BITS, dtype=np.uint64)
-    bits = (words[..., :, None] >> shifts) & np.uint64(1)
+    expanded = words[..., :, None]
+    if bits is None:
+        bits = (expanded >> shifts) & np.uint64(1)
+    else:
+        np.right_shift(expanded, shifts, out=bits)
+        bits &= np.uint64(1)
     flat = bits.reshape(*words.shape[:-1], words.shape[-1] * WORD_BITS)
-    return flat[..., :n].astype(bool)
+    trimmed = flat[..., :n]
+    if out is None:
+        return trimmed.astype(bool)
+    np.copyto(out, trimmed, casting="unsafe")
+    return out
 
 
 def pack_bools(bits: Any, n: int) -> Any:

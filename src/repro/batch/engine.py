@@ -29,7 +29,7 @@ from ..rounds.backend import (
     ReplicaOutcome,
     finish_fingerprint,
 )
-from ..rounds.bitmask import iter_bits
+from ..rounds.bitmask import WORD_BITS, iter_bits, word_count
 from .arrays import int_masks_from_words, popcount_words, unpack_words
 
 
@@ -80,6 +80,13 @@ class BatchEngine:
         if batch.fingerprints:
             fingerprints = [ReplicaFingerprint() for _ in range(replicas)]
 
+        # Round-loop scratch: the unpacked heard-matrix and its bit-expansion
+        # intermediate are rewritten in place every round.
+        heard_buffer = np.empty((replicas, n, n), dtype=bool)
+        bits_buffer = np.empty(
+            (replicas, n, word_count(n), WORD_BITS), dtype=np.uint64
+        )
+
         round = 0
         while round < batch.max_rounds:
             # The same between-round poll as the scalar loop: a replica that
@@ -94,7 +101,7 @@ class BatchEngine:
                 break
             round += 1
             words = oracle.round_masks(round, active)
-            heard = unpack_words(words, n)
+            heard = unpack_words(words, n, out=heard_buffer, bits=bits_buffer)
             decided_before = kernel.decided() if fingerprints is not None else None
             kernel.step(round, heard, active)
             rounds_executed[active] = round

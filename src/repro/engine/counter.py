@@ -146,6 +146,39 @@ def units_of_array(np: Any, hashes: Any) -> Any:
     return (hashes >> np.uint64(11)).astype(np.float64) * _UNIT_SCALE
 
 
+#: the fused compiled kernel, resolved on first use: False = unresolved,
+#: None = unavailable (no numba), else repro.compiled.kernels.counter_units.
+_FUSED_UNITS: Any = False
+
+
+def units_of_counters(np: Any, keys: Any, counters: Sequence[Any]) -> Any:
+    """``units_of_array(counter_hash_array(keys, counters))``, fused.
+
+    The hot form of a counter-based uniform draw: when numba is available
+    the hash chain and the unit scaling run as one nopython pass with no
+    intermediate hash array (:func:`repro.compiled.kernels.counter_units`);
+    otherwise the two-step numpy path runs.  Bit-identical either way --
+    the top 53 hash bits scale to a float64 exactly.
+
+    The compiled module is imported lazily at first use (this module sits
+    below :mod:`repro.compiled` in the layering DAG) and the resolution is
+    cached for the life of the process, like :data:`repro._optional.NUMBA`.
+    """
+    global _FUSED_UNITS
+    if _FUSED_UNITS is False:
+        from .._optional import have_numba
+
+        if have_numba():
+            from ..compiled.kernels import counter_units
+
+            _FUSED_UNITS = counter_units
+        else:
+            _FUSED_UNITS = None
+    if _FUSED_UNITS is not None:
+        return _FUSED_UNITS(np, keys, counters)
+    return units_of_array(np, counter_hash_array(np, keys, counters))
+
+
 __all__ = [
     "mix64",
     "counter_hash",
@@ -153,4 +186,5 @@ __all__ = [
     "CounterStream",
     "counter_hash_array",
     "units_of_array",
+    "units_of_counters",
 ]

@@ -9,9 +9,10 @@ into lint findings:
 * REP001 -- no bare ``random`` module; draw through
   :class:`~repro.engine.rng.SeededRng` named sub-streams or
   :class:`~repro.engine.counter.CounterStream`.
-* REP002 -- numpy is imported exactly once, in :mod:`repro._optional`;
-  everywhere else uses ``NUMPY`` / ``have_numpy`` / ``require_numpy`` so
-  the numpy-free fallback stays honest.
+* REP002 -- numpy and numba are imported exactly once, in
+  :mod:`repro._optional`; everywhere else uses ``NUMPY`` / ``NUMBA`` and
+  the ``have_*`` / ``require_*`` guards so the dependency-free fallbacks
+  stay honest.
 * REP003 -- no wall-clock or entropy reads (``time.time``, ``uuid4``,
   ``os.urandom``, ...) in package code; monotonic *duration* timers
   (``perf_counter``) are allowed for diagnostics.
@@ -21,10 +22,10 @@ into lint findings:
   hash randomisation makes the order vary per process; sort first.
 * REP006 -- the import-layering DAG: ``repro.core`` / ``repro.engine`` /
   ``repro.rounds`` sit below the execution and orchestration layers and
-  must never import ``repro.batch`` / ``repro.runner`` /
-  ``repro.workloads`` at module level (function-local lazy imports are the
-  sanctioned pattern); nothing outside :mod:`repro.lint` imports the
-  linter.
+  must never import ``repro.batch`` / ``repro.compiled`` /
+  ``repro.runner`` / ``repro.workloads`` at module level (function-local
+  lazy imports are the sanctioned pattern); nothing outside
+  :mod:`repro.lint` imports the linter.
 * REP007 -- suppression hygiene (unknown codes, missing justifications,
   unused suppressions); emitted by the suppression parser and the engine,
   registered here so it lists and selects like any other rule.
@@ -71,12 +72,17 @@ class BareRandomRule(SourceRule):
         return findings
 
 
+#: accelerator packages whose import is confined to repro._optional.
+_OPTIONAL_PACKAGES = ("numpy", "numba")
+
+
 class NumpyOutsideOptionalRule(SourceRule):
     code = "REP002"
     name = "numpy-via-optional"
     summary = (
-        "numpy is imported exactly once, in repro._optional; use "
-        "NUMPY/have_numpy/require_numpy so the numpy-free fallback stays honest"
+        "numpy and numba are imported exactly once, in repro._optional; use "
+        "NUMPY/NUMBA and the have_*/require_* guards so the dependency-free "
+        "fallbacks stay honest"
     )
 
     def applies_to(self, module: Optional[str]) -> bool:
@@ -90,19 +96,23 @@ class NumpyOutsideOptionalRule(SourceRule):
                 continue
             offender = None
             if isinstance(node, ast.Import):
-                if any(alias.name == "numpy" or alias.name.startswith("numpy.")
-                       for alias in node.names):
-                    offender = "'import numpy'"
+                for package in _OPTIONAL_PACKAGES:
+                    if any(alias.name == package
+                           or alias.name.startswith(package + ".")
+                           for alias in node.names):
+                        offender = f"'import {package}'"
             elif isinstance(node, ast.ImportFrom):
-                if node.level == 0 and node.module is not None and (
-                    node.module == "numpy" or node.module.startswith("numpy.")
-                ):
-                    offender = "'from numpy import ...'"
+                if node.level == 0 and node.module is not None:
+                    for package in _OPTIONAL_PACKAGES:
+                        if node.module == package or \
+                                node.module.startswith(package + "."):
+                            offender = f"'from {package} import ...'"
             if offender is not None:
                 findings.append(ctx.finding(
                     self.code, node,
                     f"direct {offender} outside repro._optional: use "
-                    "repro._optional.NUMPY / have_numpy() / require_numpy()",
+                    "repro._optional.NUMPY/NUMBA and the have_*/require_* "
+                    "guards",
                 ))
         return findings
 
@@ -257,9 +267,15 @@ def _set_expression_label(node: ast.expr) -> Optional[str]:
 
 #: source layer prefix -> the layers it must never import at module level.
 FORBIDDEN_EDGES = {
-    "repro.core": ("repro.batch", "repro.runner", "repro.workloads"),
-    "repro.engine": ("repro.batch", "repro.runner", "repro.workloads"),
-    "repro.rounds": ("repro.batch", "repro.runner", "repro.workloads"),
+    "repro.core": (
+        "repro.batch", "repro.compiled", "repro.runner", "repro.workloads",
+    ),
+    "repro.engine": (
+        "repro.batch", "repro.compiled", "repro.runner", "repro.workloads",
+    ),
+    "repro.rounds": (
+        "repro.batch", "repro.compiled", "repro.runner", "repro.workloads",
+    ),
 }
 
 
@@ -267,8 +283,9 @@ class ImportLayeringRule(SourceRule):
     code = "REP006"
     name = "import-layering"
     summary = (
-        "the layering DAG: core/engine/rounds never import batch/runner/"
-        "workloads at module level, and only repro.lint imports repro.lint"
+        "the layering DAG: core/engine/rounds never import batch/compiled/"
+        "runner/workloads at module level, and only repro.lint imports "
+        "repro.lint"
     )
 
     def check(self, ctx: FileContext) -> List[Finding]:

@@ -17,14 +17,19 @@ vocabulary closed over :class:`~repro.rounds.fallback.FallbackReason`.
   subclasses ``BatchKernel``, names the algorithm class it is the dual of,
   and is registered *under* that class.
 * REP103 -- every scenario with a batch runner resolves each generic sweep
-  backend choice (auto/batch/super/scalar) to a registered execution
-  backend, and every super-batchable scenario (batch builder) also has the
-  per-cell batch runner the fallback path needs.
+  backend choice (auto/batch/compiled/super/scalar) to a registered
+  execution backend, and every super-batchable scenario (batch builder)
+  also has the per-cell batch runner the fallback path needs.
 * REP104 -- fallback reasons in the backends' decision functions are
   rendered from the shared ``FallbackReason`` enum, never inline literals.
 * REP105 -- ``RunRecord`` stays a slim picklable wire record: every field
   (except the explicitly non-wire ``result``) has a JSON-able annotation,
   and a synthesised instance pickles small.
+* REP106 -- every registered compiled kernel is coherent with the chain it
+  shadows: it is keyed by a registered ``BatchKernel`` subclass, declares
+  that kernel's ``algorithm_class`` as its own dual, and names an existing
+  parity-test marker -- a compiled dual cannot be registered without its
+  bit-identity evidence.
 """
 
 from __future__ import annotations
@@ -56,6 +61,7 @@ class ProjectContext:
         registry: Optional[Any] = None,
         run_record: Optional[type] = None,
         get_backend: Optional[Callable[[str], Any]] = None,
+        compiled_kernels: Optional[Dict[type, Any]] = None,
     ) -> None:
         self.root = root or Path.cwd()
         self._duals = duals
@@ -63,6 +69,7 @@ class ProjectContext:
         self._registry = registry
         self._run_record = run_record
         self._get_backend = get_backend
+        self._compiled_kernels = compiled_kernels
 
     # -- providers (lazy imports of the real registries) ---------------- #
 
@@ -75,6 +82,10 @@ class ProjectContext:
 
     def kernels(self) -> Dict[type, type]:
         if self._kernels is None:
+            # Kernel registration is an import side-effect; pull in the
+            # modules that register beyond repro.algorithms.batched before
+            # snapshotting, or the audit depends on import order.
+            import repro.predimpl.batched_translation  # noqa: F401
             from repro.algorithms.batched import _KERNELS
 
             self._kernels = dict(_KERNELS)
@@ -100,6 +111,13 @@ class ProjectContext:
 
             self._get_backend = get_backend
         return self._get_backend(name)
+
+    def compiled_kernels(self) -> Dict[type, Any]:
+        if self._compiled_kernels is None:
+            from repro.compiled.kernels import _COMPILED
+
+            self._compiled_kernels = dict(_COMPILED)
+        return self._compiled_kernels
 
     # -- anchoring ------------------------------------------------------ #
 
@@ -198,15 +216,15 @@ class BatchKernelRegistrationRule(AuditRule):
 
 
 #: the generic sweep backend choices every batchable scenario must resolve.
-SWEEP_BACKEND_CHOICES = ("auto", "batch", "super", "scalar")
+SWEEP_BACKEND_CHOICES = ("auto", "batch", "compiled", "super", "scalar")
 
 
 class ScenarioBackendResolutionRule(AuditRule):
     code = "REP103"
     name = "scenario-backend-resolution"
     summary = (
-        "every batchable scenario resolves auto/batch/super/scalar to a "
-        "registered execution backend; builders imply runners"
+        "every batchable scenario resolves auto/batch/compiled/super/scalar "
+        "to a registered execution backend; builders imply runners"
     )
 
     def audit(self, project: ProjectContext) -> List[Finding]:
@@ -372,12 +390,88 @@ def _sample_value(annotation: str) -> Any:
     return {"str": "x", "int": 0, "bool": False, "float": 0.0}.get(annotation)
 
 
+class CompiledKernelRegistrationRule(AuditRule):
+    code = "REP106"
+    name = "compiled-kernel-registration"
+    summary = (
+        "every compiled kernel is keyed by a registered BatchKernel, "
+        "declares that kernel's algorithm_class, and names an existing "
+        "parity-test marker"
+    )
+
+    def audit(self, project: ProjectContext) -> List[Finding]:
+        from repro.algorithms.batched import BatchKernel
+
+        registered_kernels = set(project.kernels().values())
+        findings: List[Finding] = []
+        for kernel_cls, spec in project.compiled_kernels().items():
+            anchor = kernel_cls if inspect.isclass(kernel_cls) else type(spec)
+            if not (inspect.isclass(kernel_cls)
+                    and issubclass(kernel_cls, BatchKernel)):
+                findings.append(_finding(
+                    self.code, project, anchor,
+                    f"the compiled registry is keyed by {kernel_cls!r}, which "
+                    "is not a BatchKernel subclass",
+                ))
+                continue
+            if getattr(spec, "batch_kernel_class", None) is not kernel_cls:
+                findings.append(_finding(
+                    self.code, project, anchor,
+                    f"the compiled dual registered under {kernel_cls.__name__} "
+                    f"declares batch_kernel_class="
+                    f"{getattr(spec, 'batch_kernel_class', None)!r}; "
+                    "one of the two is wrong",
+                ))
+            if kernel_cls not in registered_kernels:
+                findings.append(_finding(
+                    self.code, project, anchor,
+                    f"{kernel_cls.__name__} has a compiled dual but is not "
+                    "itself a registered batch kernel; the compiled tier "
+                    "would shadow a kernel the batch tier never runs",
+                ))
+            declared = getattr(spec, "algorithm_class", None)
+            expected = getattr(kernel_cls, "algorithm_class", None)
+            if declared is None or declared is not expected:
+                findings.append(_finding(
+                    self.code, project, anchor,
+                    f"the compiled dual of {kernel_cls.__name__} declares "
+                    f"algorithm_class={getattr(declared, '__name__', declared)!r} "
+                    f"but the kernel's dual is "
+                    f"{getattr(expected, '__name__', expected)!r}",
+                ))
+            if not callable(getattr(spec, "runner", None)):
+                findings.append(_finding(
+                    self.code, project, anchor,
+                    f"the compiled dual of {kernel_cls.__name__} has no "
+                    "callable runner",
+                ))
+            parity_test = getattr(spec, "parity_test", None)
+            if not (isinstance(parity_test, str) and "::" in parity_test
+                    and parity_test.split("::", 1)[1]):
+                findings.append(_finding(
+                    self.code, project, anchor,
+                    f"the compiled dual of {kernel_cls.__name__} names no "
+                    f"parity-test marker (got {parity_test!r}); the contract "
+                    "is 'path/to/test_file.py::test_node'",
+                ))
+            else:
+                test_path = project.root / parity_test.split("::", 1)[0]
+                if not test_path.is_file():
+                    findings.append(_finding(
+                        self.code, project, anchor,
+                        f"the parity test of {kernel_cls.__name__}'s compiled "
+                        f"dual points at a missing file: {parity_test!r}",
+                    ))
+        return findings
+
+
 for _rule in (
     CounterDualSignatureRule(),
     BatchKernelRegistrationRule(),
     ScenarioBackendResolutionRule(),
     FallbackReasonLiteralRule(),
     RunRecordWireRule(),
+    CompiledKernelRegistrationRule(),
 ):
     register_rule(_rule)
 
@@ -389,6 +483,7 @@ __all__ = [
     "ScenarioBackendResolutionRule",
     "FallbackReasonLiteralRule",
     "RunRecordWireRule",
+    "CompiledKernelRegistrationRule",
     "SWEEP_BACKEND_CHOICES",
     "FALLBACK_DECISION_FUNCTIONS",
 ]

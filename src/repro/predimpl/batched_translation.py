@@ -135,12 +135,19 @@ class BatchTranslationKernel(BatchKernel):
     def step(self, round: int, heard: Any, active: Any) -> None:
         np = self.np
         act3 = active[:, None, None]
-        listen_new = self.listen & heard
+        shape = (self.replicas, self.n, self.n)
+        listen_new = np.logical_and(
+            self.listen, heard, out=self._scratch("tr_listen_new", shape, bool)
+        )
         # counts[r, p, k] = |{q in listen'(p) : k in known_q}| over the
         # start-of-round known (messages carry pre-transition state); exact
         # in float32 for any n below 2^24.
+        listen_f = self._scratch("tr_listen_f32", shape, np.float32)
+        np.copyto(listen_f, listen_new)
+        known_f = self._scratch("tr_known_f32", shape, np.float32)
+        np.copyto(known_f, self.known)
         counts = np.matmul(
-            listen_new.astype(np.float32), self.known.astype(np.float32)
+            listen_f, known_f, out=self._scratch("tr_counts", shape, np.float32)
         )
         if round % self.rounds_per_macro != 0:
             self.known = np.where(act3, self.known | (counts > 0.5), self.known)

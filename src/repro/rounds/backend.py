@@ -61,8 +61,9 @@ from .engine import OracleTransport, RoundAlgorithm, RoundEngine
 from .record import ProcessId, Round, RoundRecord
 
 #: The backend name meaning "the fastest backend that keeps the contract":
-#: resolves to ``batch`` (which itself degrades to the scalar loop per cell
-#: when vectorisation cannot engage).
+#: resolves to ``compiled`` when numba is importable, else ``batch`` (each
+#: tier degrades to the one below it per cell when it cannot engage, so the
+#: outcomes are identical at every resolution).
 AUTO_BACKEND = "auto"
 
 
@@ -365,14 +366,22 @@ def backend_names() -> List[str]:
 
 
 def get_backend(name: str) -> ExecutionBackend:
-    """Resolve a backend by name (``auto`` means the batch backend).
+    """Resolve a backend by name.
 
-    The ``batch`` backend registers itself when :mod:`repro.batch` is
-    imported; resolution triggers that import lazily so that
-    ``repro.rounds`` itself never depends upward.
+    ``auto`` means the fastest tier that can engage in this process: the
+    ``compiled`` backend when numba is importable, else ``batch`` -- both
+    degrade per cell down the tier ladder with identical outcomes.  The
+    ``batch`` and ``compiled`` backends register themselves when their
+    packages are imported; resolution triggers those imports lazily so
+    that ``repro.rounds`` itself never depends upward.
     """
     _ensure_populated()
-    key = "batch" if name == AUTO_BACKEND else name
+    if name == AUTO_BACKEND:
+        from .._optional import have_numba
+
+        key = "compiled" if have_numba() else "batch"
+    else:
+        key = name
     try:
         return _BACKENDS[key]
     except KeyError:
@@ -388,6 +397,10 @@ def _ensure_populated() -> None:
         # Registers the step-path backends (and the translation kernel via
         # the package __init__); lazy for the same reason as repro.batch.
         import repro.predimpl.step_backend  # noqa: F401
+    if "compiled" not in _BACKENDS:
+        # Registers the compiled tier (which degrades to batch without
+        # numba); lazy for the same reason as repro.batch.
+        import repro.compiled  # noqa: F401
 
 
 register_backend(ScalarBackend())

@@ -53,6 +53,16 @@ class FallbackReason(Enum):
     MONITORED_PER_CELL = "monitored runs take the per-cell batch path"
     FINGERPRINTED_PER_CELL = "fingerprinted runs take the per-cell batch path"
 
+    # -- the compiled backend (repro.compiled.backend) ------------------ #
+    NO_NUMBA = "numba unavailable (install the 'compiled' extra)"
+    NO_COMPILED_KERNEL = "no compiled dual for {kernel}"
+    OPAQUE_COMPILED_ORACLE = (
+        "oracle needs the per-replica query loop; the fused round loop "
+        "cannot precompute its masks"
+    )
+    MONITORED_COMPILED_CELL = "monitored runs take the numpy batch path"
+    FINGERPRINTED_COMPILED_CELL = "fingerprinted runs take the numpy batch path"
+
     # -- the step backend (repro.predimpl.step_backend) ---------------- #
     MIXED_STEP_ENVIRONMENTS = "replicas disagree on the step environment"
     ARBITRARY_GOOD_STACK = (

@@ -116,11 +116,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--backend",
         choices=BACKEND_CHOICES,
         default="auto",
-        help="execution backend for batched cells: 'auto'/'batch' = the "
-        "vectorized lockstep-replica engine (numpy when available, with an "
-        "automatic per-cell scalar fallback), 'super' = pack the whole grid "
-        "into one cross-cell lockstep run (single process), 'scalar' = the "
-        "reference loop (default: auto; only meaningful with --replicas)",
+        help="execution backend for batched cells: 'compiled' = the fused "
+        "multi-round JIT loop (numba when available, with an automatic "
+        "per-cell batch fallback), 'batch' = the vectorized lockstep-replica "
+        "engine (numpy when available, with an automatic per-cell scalar "
+        "fallback), 'auto' = compiled when numba is importable else batch, "
+        "'super' = pack the whole grid into one cross-cell lockstep run "
+        "(single process), 'scalar' = the reference loop (default: auto; "
+        "only meaningful with --replicas)",
     )
     parser.add_argument(
         "--workers",

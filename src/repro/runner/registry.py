@@ -72,7 +72,8 @@ class TaskRegistry:
         cell by cell.
 
         *backend_aliases* maps the sweep's generic backend choices
-        (``auto``/``batch``/``super``/``scalar``) onto the scenario's own
+        (``auto``/``batch``/``compiled``/``super``/``scalar``) onto the
+        scenario's own
         execution backends.  Step-path scenarios use it to route
         ``--backend batch`` to ``step-batch`` (and ``scalar`` to
         ``step-scalar``) without the sweep executor knowing what a step

@@ -415,8 +415,15 @@ def _effective_backend(requested: str) -> str:
     if reason is None:
         return backend.name
     # The super backend degrades to the per-cell *batch* path (which may
-    # still vectorise); the batch backend degrades to the scalar loop.
-    kind = "cell-fallback" if getattr(backend, "name", "") == "super" else "scalar-fallback"
+    # still vectorise); the compiled backend degrades to the numpy batch
+    # path; the batch backend degrades to the scalar loop.
+    name = getattr(backend, "name", "")
+    if name == "super":
+        kind = "cell-fallback"
+    elif name == "compiled":
+        kind = "batch-fallback"
+    else:
+        kind = "scalar-fallback"
     return f"{backend.name}:{kind} ({reason})"
 
 
@@ -978,7 +985,7 @@ def _resolve_workers(workers: Optional[int], jobs: int) -> int:
 
 
 #: Execution-backend names a sweep accepts for batched cells.
-BACKEND_CHOICES = ("auto", "batch", "scalar", "super")
+BACKEND_CHOICES = ("auto", "batch", "compiled", "scalar", "super")
 
 
 def _execute_super_grid(

@@ -77,6 +77,7 @@ from .scenarios import FAULT_MODELS, ScenarioResult, _scope_for
 STEP_BACKEND_ALIASES = {
     "auto": "step-batch",
     "batch": "step-batch",
+    "compiled": "step-batch",
     "super": "step-batch",
     "scalar": "step-scalar",
 }

@@ -82,10 +82,14 @@ def make_batch(algo_cls, fault_model, n, base_seed, replicas, **kwargs):
 
 class TestBackendRegistry:
     def test_names_and_auto(self):
-        assert set(backend_names()) >= {"scalar", "batch", "auto"}
+        from repro._optional import have_numba
+
+        assert set(backend_names()) >= {"scalar", "batch", "compiled", "auto"}
         assert get_backend("scalar").name == "scalar"
         assert get_backend("batch").name == "batch"
-        assert get_backend("auto").name == "batch"
+        assert get_backend("compiled").name == "compiled"
+        expected_auto = "compiled" if have_numba() else "batch"
+        assert get_backend("auto").name == expected_auto
 
     def test_unknown_backend_raises(self):
         with pytest.raises(KeyError, match="unknown execution backend"):

@@ -1,0 +1,355 @@
+"""Compiled-tier parity: the fused round loop is bit-identical to scalar.
+
+The compiled cores are exercised in *interpreted* mode
+(``CompiledBackend(interpreted=True)``): the exact code objects numba would
+JIT run under CPython, so a numba-free environment still pins the cores'
+bit-identity against the numpy batch tier and the scalar reference.  When
+numba *is* importable the same tests run the JIT path -- the backend only
+switches how the chunk cores execute, never what they compute.
+
+``test_classic_grid_parity`` and ``test_translation_parity`` are the
+parity-evidence markers named by the registered compiled kernels
+(:data:`repro.compiled.kernels._COMPILED`), audited by lint rule REP106.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro._optional import have_numpy
+from repro.adversaries import (
+    FaultFreeOracle,
+    PartitionOracle,
+    RandomOmissionOracle,
+    SequenceOracle,
+    StaticCrashOracle,
+)
+from repro.adversaries.dynamic import (
+    BurstyLossOracle,
+    EventuallyStableCoordinatorOracle,
+    MobileOmissionOracle,
+    RotatingPartitionOracle,
+)
+from repro.algorithms import LastVoting, OneThirdRule, UniformVoting
+from repro.engine.rng import SeededRng
+from repro.predimpl.translation import KernelToUniformTranslation
+from repro.rounds.backend import ReplicaBatch, ReplicaTask, get_backend
+from repro.rounds.bitmask import mask_of
+from repro.rounds.fallback import FallbackReason
+
+pytestmark = pytest.mark.skipif(not have_numpy(), reason="numpy not available")
+
+#: classic (pure, broadcastable) and dynamic (counter-stream) adversaries;
+#: all of them vectorise without the per-replica query loop, so the fused
+#: chunked precompute engages for every cell.
+ORACLE_FACTORIES = {
+    "fault-free": lambda n, seed: FaultFreeOracle(n),
+    "crash-stop": lambda n, seed: StaticCrashOracle(n, {n - 1: 3}),
+    "partition-heal": lambda n, seed: PartitionOracle(
+        n, [range(0, n // 2), range(n // 2, n)], heal_round=6
+    ),
+    "crash-recovery": lambda n, seed: SequenceOracle(
+        n,
+        [
+            (FaultFreeOracle(n), 3),
+            (StaticCrashOracle(n, {n - 1: 1}), 4),
+            (FaultFreeOracle(n), None),
+        ],
+    ),
+    "mobile": lambda n, seed: MobileOmissionOracle(
+        n, faults=max(0, (n - 1) // 3), seed=seed
+    ),
+    "rotating": lambda n, seed: RotatingPartitionOracle(n, seed=seed),
+    "bursty": lambda n, seed: BurstyLossOracle(n, seed=seed),
+    "stable-coord": lambda n, seed: EventuallyStableCoordinatorOracle(
+        n, stable_from=6, seed=seed
+    ),
+}
+
+ALGORITHMS = [OneThirdRule, UniformVoting, LastVoting]
+
+
+def compiled_backend():
+    """A fresh interpreted-mode compiled backend (JIT engages when numba is up)."""
+    from repro.compiled import CompiledBackend
+
+    return CompiledBackend(interpreted=True)
+
+
+def make_batch(algo_factory, oracle_name, n, base_seed, replicas, **kwargs):
+    factory = ORACLE_FACTORIES[oracle_name]
+    tasks = []
+    for i in range(replicas):
+        seed = base_seed + i
+        rng = SeededRng(seed)
+        values = [10 * (p + 1) for p in range(n)]
+        rng.stream("values").shuffle(values)
+        tasks.append(
+            ReplicaTask(
+                seed=seed,
+                algorithm=algo_factory(n),
+                oracle=factory(n, seed),
+                initial_values=values,
+            )
+        )
+    scope = range(n - 1) if (oracle_name == "crash-stop" and n > 1) else range(n)
+    kwargs.setdefault("scope_mask", mask_of(scope))
+    kwargs.setdefault("max_rounds", 40)
+    return ReplicaBatch(n=n, tasks=tasks, **kwargs)
+
+
+def assert_compiled_engaged_and_identical(make, reference_backend="scalar"):
+    """The fused loop ran (no fallback) and outcomes match the reference."""
+    reference = get_backend(reference_backend).run(make())
+    backend = compiled_backend()
+    outcomes = backend.run(make())
+    assert backend.last_fallback_reason is None
+    assert outcomes == reference
+
+
+# --------------------------------------------------------------------- #
+# the registered parity markers (REP106 evidence)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("algo_cls", ALGORITHMS)
+@pytest.mark.parametrize("oracle_name", sorted(ORACLE_FACTORIES))
+def test_classic_grid_parity(algo_cls, oracle_name):
+    """Compiled == batch == scalar on every round prefix of every cell.
+
+    Prefix runs (max_rounds = t) pin the *whole trajectory*: a transition
+    divergence at round k shows up in some prefix's decisions/messages even
+    if the final fixed point happens to agree.
+    """
+    for max_rounds in (1, 2, 5, 40):
+        scalar = get_backend("scalar").run(
+            make_batch(algo_cls, oracle_name, 5, 40, 4, max_rounds=max_rounds)
+        )
+        batched = get_backend("batch").run(
+            make_batch(algo_cls, oracle_name, 5, 40, 4, max_rounds=max_rounds)
+        )
+        backend = compiled_backend()
+        compiled = backend.run(
+            make_batch(algo_cls, oracle_name, 5, 40, 4, max_rounds=max_rounds)
+        )
+        assert backend.last_fallback_reason is None
+        assert compiled == scalar
+        assert compiled == batched
+
+
+@pytest.mark.parametrize("oracle_name", ["fault-free", "crash-stop", "mobile", "bursty"])
+@pytest.mark.parametrize("n,f", [(4, 1), (5, 1), (7, 2)])
+def test_translation_parity(oracle_name, n, f):
+    """The Theorem 8 translation core: listen/known bookkeeping bit-exact."""
+
+    def make():
+        return make_batch(
+            lambda size: KernelToUniformTranslation(OneThirdRule(size), f),
+            oracle_name, n, 300, 3, max_rounds=60,
+        )
+
+    assert_compiled_engaged_and_identical(make)
+
+
+# --------------------------------------------------------------------- #
+# word-spill sizes and full-horizon mode
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("n", [1, 63, 64, 65])
+@pytest.mark.parametrize("algo_cls", [OneThirdRule, UniformVoting])
+def test_word_spill_parity(n, algo_cls):
+    """The (K, R, n, ceil(n/64)) uint64 layout is exact across the 64-bit edge."""
+    for oracle_name in ("fault-free", "mobile"):
+        assert_compiled_engaged_and_identical(
+            lambda: make_batch(algo_cls, oracle_name, n, 500, 2, max_rounds=6)
+        )
+
+
+def test_full_horizon_runs_every_round():
+    """run_full_horizon disables the early-decide poll inside the fused loop."""
+
+    def make():
+        return make_batch(
+            OneThirdRule, "fault-free", 5, 40, 3,
+            max_rounds=12, run_full_horizon=True,
+        )
+
+    assert_compiled_engaged_and_identical(make)
+    outcomes = compiled_backend().run(make())
+    assert all(o.rounds_executed == 12 for o in outcomes)
+
+
+def test_empty_scope_runs_zero_rounds():
+    """An already-satisfied scope never queries the oracle (same as scalar)."""
+
+    def make():
+        return make_batch(
+            OneThirdRule, "fault-free", 5, 40, 2, scope_mask=0, max_rounds=10
+        )
+
+    assert_compiled_engaged_and_identical(make)
+    outcomes = compiled_backend().run(make())
+    assert all(o.rounds_executed == 0 for o in outcomes)
+
+
+# --------------------------------------------------------------------- #
+# the fallback ladder
+# --------------------------------------------------------------------- #
+
+
+def test_forced_fallback_matches_free_run():
+    from repro.compiled import CompiledBackend
+
+    forced = CompiledBackend(force_fallback=True, interpreted=True)
+    free = compiled_backend()
+    a = forced.run(make_batch(LastVoting, "bursty", 5, 3, 4))
+    b = free.run(make_batch(LastVoting, "bursty", 5, 3, 4))
+    assert forced.last_fallback_reason == FallbackReason.FORCED.render()
+    assert free.last_fallback_reason is None
+    assert a == b
+
+
+def test_without_numba_the_batch_path_runs(monkeypatch):
+    """A non-interpreted backend degrades with NO_NUMBA when numba is absent."""
+    from repro.compiled import CompiledBackend
+
+    monkeypatch.setattr("repro._optional.NUMBA", None)
+    backend = CompiledBackend()
+    outcomes = backend.run(make_batch(OneThirdRule, "fault-free", 5, 40, 3))
+    assert backend.last_fallback_reason == FallbackReason.NO_NUMBA.render()
+    assert outcomes == get_backend("scalar").run(
+        make_batch(OneThirdRule, "fault-free", 5, 40, 3)
+    )
+
+
+def test_monitored_cells_take_the_batch_path():
+    from repro.rounds.backend import MonitorSpec
+
+    backend = compiled_backend()
+    batch = make_batch(
+        OneThirdRule, "partition-heal", 5, 40, 3,
+        monitor_spec=MonitorSpec(predicates=("p_su",)),
+    )
+    outcomes = backend.run(batch)
+    assert backend.last_fallback_reason == \
+        FallbackReason.MONITORED_COMPILED_CELL.render()
+    # spec-only monitoring is a *batch*-tier feature (the scalar path
+    # monitors through monitor_factory), so the reference is the batch run.
+    reference = get_backend("batch").run(make_batch(
+        OneThirdRule, "partition-heal", 5, 40, 3,
+        monitor_spec=MonitorSpec(predicates=("p_su",)),
+    ))
+    assert outcomes == reference
+    assert all(o.predicate_reports for o in outcomes)
+
+
+def test_fingerprinted_cells_take_the_batch_path():
+    backend = compiled_backend()
+    outcomes = backend.run(
+        make_batch(OneThirdRule, "fault-free", 5, 40, 3, fingerprints=True)
+    )
+    assert backend.last_fallback_reason == \
+        FallbackReason.FINGERPRINTED_COMPILED_CELL.render()
+    reference = get_backend("scalar").run(
+        make_batch(OneThirdRule, "fault-free", 5, 40, 3, fingerprints=True)
+    )
+    assert outcomes == reference
+
+
+def test_stateful_oracles_are_opaque_to_the_fused_loop():
+    """rng-backed oracles need the per-replica query loop -> batch path."""
+
+    def make():
+        tasks = []
+        for i in range(3):
+            seed = 40 + i
+            rng = SeededRng(seed)
+            values = [10 * (p + 1) for p in range(5)]
+            rng.stream("values").shuffle(values)
+            tasks.append(ReplicaTask(
+                seed=seed,
+                algorithm=OneThirdRule(5),
+                oracle=RandomOmissionOracle(5, 0.25, rng=rng),
+                initial_values=values,
+            ))
+        return ReplicaBatch(n=5, tasks=tasks, max_rounds=40)
+
+    backend = compiled_backend()
+    outcomes = backend.run(make())
+    assert backend.last_fallback_reason == \
+        FallbackReason.OPAQUE_COMPILED_ORACLE.render()
+    assert outcomes == get_backend("scalar").run(make())
+
+
+def test_mixed_algorithms_fall_back():
+    tasks = [
+        ReplicaTask(0, OneThirdRule(3), FaultFreeOracle(3), [1, 2, 3]),
+        ReplicaTask(1, UniformVoting(3), FaultFreeOracle(3), [1, 2, 3]),
+    ]
+    backend = compiled_backend()
+    backend.run(ReplicaBatch(n=3, tasks=tasks, max_rounds=10))
+    assert "mixed" in backend.last_fallback_reason
+
+
+def test_disable_env_forces_numba_off(monkeypatch):
+    """REPRO_DISABLE_NUMBA=1 makes the loader refuse numba entirely."""
+    from repro import _optional
+
+    monkeypatch.setenv("REPRO_DISABLE_NUMBA", "1")
+    assert _optional._load_numba() is None
+
+
+# --------------------------------------------------------------------- #
+# the fused counter-stream hash
+# --------------------------------------------------------------------- #
+
+
+def test_counter_units_fused_matches_two_step():
+    from repro._optional import require_numpy
+    from repro.compiled.kernels import counter_units
+    from repro.engine.counter import counter_hash_array, units_of_array
+
+    np = require_numpy()
+    keys = np.arange(193, dtype=np.uint64) * np.uint64(0x9E3779B9)
+    rounds = np.arange(193, dtype=np.uint64)[::-1].copy()
+    fused = counter_units(np, keys, [np.uint64(3), rounds, np.uint64(7)])
+    two_step = units_of_array(
+        np, counter_hash_array(np, keys, [np.uint64(3), rounds, np.uint64(7)])
+    )
+    assert fused.dtype == two_step.dtype
+    assert (fused == two_step).all()
+    assert ((fused >= 0.0) & (fused < 1.0)).all()
+
+
+def test_counter_units_broadcasts_like_the_two_step_path():
+    from repro._optional import require_numpy
+    from repro.compiled.kernels import counter_units
+    from repro.engine.counter import counter_hash_array, units_of_array
+
+    np = require_numpy()
+    grid = np.arange(12, dtype=np.uint64).reshape(3, 4)
+    fused = counter_units(np, np.uint64(42), [grid, np.uint64(1)])
+    two_step = units_of_array(
+        np, counter_hash_array(np, np.uint64(42), [grid, np.uint64(1)])
+    )
+    assert fused.shape == (3, 4)
+    assert (fused == two_step).all()
+
+
+def test_units_of_counters_dispatcher_is_bit_identical():
+    """The lazy dispatcher returns the same values whichever path resolved."""
+    from repro._optional import require_numpy
+    from repro.engine.counter import (
+        counter_hash_array,
+        units_of_array,
+        units_of_counters,
+    )
+
+    np = require_numpy()
+    keys = np.arange(50, dtype=np.uint64) + np.uint64(11)
+    got = units_of_counters(np, keys, [np.uint64(2), np.uint64(9)])
+    want = units_of_array(
+        np, counter_hash_array(np, keys, [np.uint64(2), np.uint64(9)])
+    )
+    assert (got == want).all()

@@ -1,4 +1,4 @@
-"""Parity-audit rules (REP101-REP105): real registries audit clean, and
+"""Parity-audit rules (REP101-REP106): real registries audit clean, and
 deliberately broken registrations are caught.
 
 The broken fixtures are injected through :class:`ProjectContext`'s
@@ -16,7 +16,7 @@ from repro.algorithms.batched import _KERNELS, BatchKernel
 from repro.lint.parity import ProjectContext
 from repro.lint.rules import audit_rules, get_rule
 
-AUDIT_CODES = ("REP101", "REP102", "REP103", "REP105")
+AUDIT_CODES = ("REP101", "REP102", "REP103", "REP105", "REP106")
 
 
 @pytest.mark.parametrize("code", AUDIT_CODES)
@@ -133,8 +133,79 @@ def test_rep103_catches_unresolvable_backends_and_builder_without_runner():
     findings = get_rule("REP103").audit(project)
     messages = [f.message for f in findings]
     # one finding per unresolvable sweep choice for 'demo'
-    assert sum("no-such-backend" in m for m in messages) == 4
+    assert sum("no-such-backend" in m for m in messages) == 5
     assert any("no batch_runner" in m for m in messages)
+
+
+# --- REP106: compiled kernel registration coherence ----------------------- #
+
+@dataclass(frozen=True)
+class _CompiledSpec:
+    algorithm_class: Any
+    batch_kernel_class: Any
+    parity_test: str
+    runner: Any
+
+
+class _DualedKernel(BatchKernel):
+    algorithm_class = _ProperFamily
+
+
+def _compiled_project(spec, kernel=_DualedKernel):
+    return ProjectContext(
+        kernels={_ProperFamily: kernel},
+        compiled_kernels={kernel: spec},
+    )
+
+
+def _good_spec(**overrides):
+    spec = dict(
+        algorithm_class=_ProperFamily,
+        batch_kernel_class=_DualedKernel,
+        parity_test="tests/compiled/test_compiled_parity.py::test_classic_grid_parity",
+        runner=lambda: None,
+    )
+    spec.update(overrides)
+    return _CompiledSpec(**spec)
+
+
+def test_rep106_accepts_a_coherent_registration():
+    findings = get_rule("REP106").audit(_compiled_project(_good_spec()))
+    assert findings == [], [f.render() for f in findings]
+
+
+def test_rep106_catches_mismatched_algorithm_class():
+    findings = get_rule("REP106").audit(
+        _compiled_project(_good_spec(algorithm_class=_SignaturelessFamily)))
+    assert any("algorithm_class" in f.message for f in findings)
+
+
+def test_rep106_catches_missing_parity_marker():
+    findings = get_rule("REP106").audit(
+        _compiled_project(_good_spec(parity_test="tests/compiled/test_compiled_parity.py")))
+    assert any("parity-test marker" in f.message for f in findings)
+
+
+def test_rep106_catches_missing_parity_file():
+    findings = get_rule("REP106").audit(
+        _compiled_project(_good_spec(parity_test="tests/no_such_file.py::test_x")))
+    assert any("missing file" in f.message for f in findings)
+
+
+def test_rep106_catches_unregistered_batch_kernel():
+    project = ProjectContext(
+        kernels={},  # the compiled dual's kernel is not batch-registered
+        compiled_kernels={_DualedKernel: _good_spec()},
+    )
+    findings = get_rule("REP106").audit(project)
+    assert any("not itself a registered batch kernel" in f.message
+               for f in findings)
+
+
+def test_rep106_catches_non_callable_runner():
+    findings = get_rule("REP106").audit(
+        _compiled_project(_good_spec(runner=None)))
+    assert any("callable runner" in f.message for f in findings)
 
 
 # --- REP105: RunRecord stays a slim picklable wire record ----------------- #
